@@ -1,0 +1,272 @@
+// Package axml is a Go implementation of intensional XML data exchange, as
+// described in Milo, Abiteboul, Amann, Benjelloun and Dang Ngoc, "Exchanging
+// Intensional XML Data" (SIGMOD 2003) — the schema-enforcement core of the
+// Active XML system.
+//
+// An intensional document is an XML tree in which some subtrees are
+// *function nodes*: embedded calls to Web services that can be materialized
+// (invoked and replaced by their results) either by the sender or by the
+// receiver of the document. Exchange schemas — DTD-like or XML Schema_int —
+// state which parts must arrive materialized and which may stay intensional.
+// This package decides and executes the rewritings:
+//
+//   - safe rewriting (Section 4 of the paper): succeed for *every* possible
+//     service answer, decided before any call is made;
+//   - possible rewriting (Section 5): succeed for *some* answer, executed
+//     with backtracking;
+//   - mixed rewriting: speculatively invoke cheap, side-effect-free calls,
+//     then require safety;
+//   - schema compatibility (Section 6): will *every* document of one schema
+//     safely rewrite into another?
+//
+// # Quick start
+//
+//	sender := axml.MustParseSchemaText(`
+//	    root newspaper
+//	    elem newspaper = title.(Get_Temp|temp)
+//	    elem title = data
+//	    elem temp = data
+//	    elem city = data
+//	    func Get_Temp = city -> temp
+//	`)
+//	target := axml.MustParseSchemaTextShared(sender, `
+//	    root newspaper
+//	    elem newspaper = title.temp
+//	    elem title = data
+//	    elem temp = data
+//	    elem city = data
+//	    func Get_Temp = city -> temp
+//	`)
+//	rw := axml.NewRewriter(sender, target, 2, myInvoker)
+//	materialized, err := rw.RewriteDocument(docRoot, axml.Safe)
+//
+// The subpackage structure mirrors the system inventory of DESIGN.md; this
+// package re-exports the types a downstream application needs, so that the
+// internal packages can evolve freely.
+package axml
+
+import (
+	"io"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+	"axml/internal/peer"
+	"axml/internal/regex"
+	"axml/internal/schema"
+	"axml/internal/service"
+	"axml/internal/soap"
+	"axml/internal/wsdl"
+	"axml/internal/xmlio"
+	"axml/internal/xsdint"
+)
+
+// Core data-model types.
+type (
+	// Node is one node of an intensional document tree.
+	Node = doc.Node
+	// ServiceRef locates the Web service behind a function node.
+	ServiceRef = doc.ServiceRef
+	// Schema is an intensional document schema (labels, functions,
+	// function patterns).
+	Schema = schema.Schema
+	// Predicate guards function patterns.
+	Predicate = schema.Predicate
+	// Rewriter drives safe/possible/mixed rewriting of documents.
+	Rewriter = core.Rewriter
+	// Mode selects the rewriting discipline.
+	Mode = core.Mode
+	// Invoker performs service calls for the rewriter.
+	Invoker = core.Invoker
+	// InvokerFunc adapts a function to Invoker.
+	InvokerFunc = core.InvokerFunc
+	// Audit records the invocation trail of a rewriting.
+	Audit = core.Audit
+	// SchemaReport is the outcome of a schema-compatibility check.
+	SchemaReport = core.SchemaRewriteReport
+	// Converter restructures non-conforming service results (the paper's
+	// "automatic converters" extension).
+	Converter = core.Converter
+	// Converters is an ordered converter chain for Rewriter.Converters.
+	Converters = core.Converters
+	// InlineConverter adapts a function to Converter.
+	InlineConverter = core.ConverterFunc
+	// ServiceDescription is a WSDL_int service description.
+	ServiceDescription = wsdl.Description
+)
+
+// Rewriting modes.
+const (
+	// Safe refuses unless success is guaranteed for every service answer.
+	Safe = core.Safe
+	// Possible proceeds when success is reachable, backtracking on unlucky
+	// answers (side effects are not undone; consult the Audit).
+	Possible = core.Possible
+	// Mixed pre-invokes side-effect-free zero-cost calls, then requires
+	// safety on what remains.
+	Mixed = core.Mixed
+)
+
+// Node kinds.
+const (
+	// KindElement is an ordinary element node.
+	KindElement = doc.Element
+	// KindText is a text leaf.
+	KindText = doc.Text
+	// KindFunc is a function node (embedded service call).
+	KindFunc = doc.Func
+)
+
+// Document node constructors.
+var (
+	// Elem builds an element node.
+	Elem = doc.Elem
+	// Text builds a text leaf.
+	Text = doc.TextNode
+	// Call builds a function node.
+	Call = doc.Call
+	// CallAt builds a function node pinned to an endpoint.
+	CallAt = doc.CallAt
+)
+
+// ParseSchemaText parses the compact text DSL (see internal/schema for the
+// grammar). Predicates for function patterns are resolved through preds and
+// may be nil.
+func ParseSchemaText(src string, preds map[string]Predicate) (*Schema, error) {
+	return schema.ParseText(src, preds)
+}
+
+// MustParseSchemaText is ParseSchemaText panicking on error.
+func MustParseSchemaText(src string) *Schema {
+	return schema.MustParseText(src, nil)
+}
+
+// ParseSchemaTextShared parses a schema sharing the symbol table of base —
+// required when two schemas are analyzed together (sender and target).
+func ParseSchemaTextShared(base *Schema, src string, preds map[string]Predicate) (*Schema, error) {
+	return schema.ParseTextShared(schema.NewShared(base.Table), src, preds)
+}
+
+// MustParseSchemaTextShared is ParseSchemaTextShared panicking on error.
+func MustParseSchemaTextShared(base *Schema, src string) *Schema {
+	s, err := ParseSchemaTextShared(base, src, nil)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseXSD parses an XML Schema_int document. base may be nil; when given,
+// the result shares its symbol table.
+func ParseXSD(r io.Reader, base *Schema, preds map[string]Predicate) (*Schema, error) {
+	opt := xsdint.Options{Predicates: preds}
+	if base != nil {
+		opt.Table = base.Table
+	}
+	return xsdint.Parse(r, opt)
+}
+
+// WriteXSD renders a schema as XML Schema_int. predNames maps pattern names
+// to the predicate names to emit.
+func WriteXSD(w io.Writer, s *Schema, predNames map[string]string) error {
+	return xsdint.Write(w, s, predNames)
+}
+
+// ParseDocument reads an intensional XML document (int:fun syntax).
+func ParseDocument(r io.Reader) (*Node, error) { return xmlio.Parse(r) }
+
+// ParseDocumentString parses a document from a string.
+func ParseDocumentString(src string) (*Node, error) { return xmlio.ParseString(src) }
+
+// WriteDocument serializes a document with the int:fun syntax.
+func WriteDocument(w io.Writer, n *Node) error { return xmlio.Write(w, n) }
+
+// DocumentString serializes a document to a string, panicking on the
+// (cannot-happen) serialization error.
+func DocumentString(n *Node) string { return xmlio.MustString(n) }
+
+// Validate checks that the document is an instance of the schema
+// (Definition 3 of the paper). sigs optionally supplies signatures for
+// functions the schema itself does not declare; it may be nil.
+func Validate(s *Schema, sigs *Schema, n *Node) error {
+	return schema.NewContext(s, sigs).Validate(n)
+}
+
+// NewRewriter builds a rewriter from the sender schema (declaring the
+// signatures of every function documents may embed) into the exchange
+// schema. Both must share a symbol table (use ParseSchemaTextShared /
+// ParseXSD with base). k bounds rewriting depth; inv performs the calls and
+// may be nil for check-only use.
+func NewRewriter(sender, target *Schema, k int, inv Invoker) *Rewriter {
+	return core.NewRewriter(sender, target, k, inv)
+}
+
+// SchemaCompatible checks Definition 6: does every document of sender
+// (rooted at root, defaulting to sender's declared root) safely rewrite
+// into target within depth k?
+func SchemaCompatible(sender, target *Schema, root string, k int) (*SchemaReport, error) {
+	return core.SchemaSafeRewrite(core.Compile(sender, target), root, k)
+}
+
+// SOAPInvoker returns an Invoker that routes function nodes to their SOAP
+// endpoints (a node's ServiceRef endpoint wins; defaultEndpoint covers the
+// rest).
+func SOAPInvoker(defaultEndpoint string) Invoker {
+	return &soap.Invoker{Default: defaultEndpoint}
+}
+
+// FetchWSDL parses a WSDL_int description, sharing base's symbol table when
+// base is non-nil.
+func FetchWSDL(r io.Reader, base *Schema) (*ServiceDescription, error) {
+	opt := xsdint.Options{}
+	if base != nil {
+		opt.Table = base.Table
+	}
+	return wsdl.Parse(r, opt)
+}
+
+// SchemaRegex exposes the content-model regular expression type for advanced
+// callers (building schemas programmatically).
+type SchemaRegex = regex.Regex
+
+// Peer-and-services surface: run an Active XML node in-process.
+type (
+	// Peer is an Active XML peer: repository + services + the Schema
+	// Enforcement module, exposable over HTTP through Peer.Handler.
+	Peer = peer.Peer
+	// PeerQuery declares a query-defined service over the repository.
+	PeerQuery = peer.Query
+	// PeerProposal is a candidate exchange schema for Peer.Negotiate.
+	PeerProposal = peer.Proposal
+	// PeerAgreement is a successful negotiation outcome.
+	PeerAgreement = peer.Agreement
+	// ServiceRegistry holds the operations a peer provides.
+	ServiceRegistry = service.Registry
+	// ServiceOperation is one registered operation.
+	ServiceOperation = service.Operation
+	// ServiceHandler implements an operation.
+	ServiceHandler = service.Handler
+)
+
+// NewPeer creates a peer over the given schema.
+func NewPeer(name string, s *Schema) *Peer { return peer.New(name, s) }
+
+// Converter constructors (see internal/core for details).
+var (
+	// RenameLabels renames element/function labels in returned forests.
+	RenameLabels = core.RenameLabels
+	// UnwrapElement strips a wrapper element around returned content.
+	UnwrapElement = core.Unwrap
+	// MapValues rewrites text content of elements with a given label.
+	MapValues = core.MapValues
+)
+
+// Predicate combinators for function patterns (the paper's UDDIF and InACL
+// examples).
+var (
+	// RegistryListed accepts functions registered in the given registry.
+	RegistryListed = service.RegistryListed
+	// ACL accepts functions on an allow-list.
+	ACL = service.ACL
+	// AndPredicates conjoins predicates.
+	AndPredicates = service.And
+)

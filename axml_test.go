@@ -1,0 +1,140 @@
+package axml_test
+
+import (
+	"strings"
+	"testing"
+
+	"axml"
+)
+
+const senderSrc = `
+root newspaper
+elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)
+elem title = data
+elem date = data
+elem temp = data
+elem city = data
+elem exhibit = title.date
+elem performance = data
+func Get_Temp = city -> temp
+func TimeOut = data -> (exhibit|performance)*
+`
+
+const targetSrc = `
+root newspaper
+elem newspaper = title.date.temp.(TimeOut|exhibit*)
+elem title = data
+elem date = data
+elem temp = data
+elem city = data
+elem exhibit = title.date
+elem performance = data
+func Get_Temp = city -> temp
+func TimeOut = data -> (exhibit|performance)*
+`
+
+func newspaper() *axml.Node {
+	return axml.Elem("newspaper",
+		axml.Elem("title", axml.Text("The Sun")),
+		axml.Elem("date", axml.Text("04/10/2002")),
+		axml.Call("Get_Temp", axml.Elem("city", axml.Text("Paris"))),
+		axml.Call("TimeOut", axml.Text("exhibits")),
+	)
+}
+
+func weatherInvoker(t *testing.T) axml.Invoker {
+	return axml.InvokerFunc(func(call *axml.Node) ([]*axml.Node, error) {
+		switch call.Label {
+		case "Get_Temp":
+			return []*axml.Node{axml.Elem("temp", axml.Text("15"))}, nil
+		default:
+			t.Fatalf("unexpected call %q", call.Label)
+			return nil, nil
+		}
+	})
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sender := axml.MustParseSchemaText(senderSrc)
+	target := axml.MustParseSchemaTextShared(sender, targetSrc)
+
+	if err := axml.Validate(sender, nil, newspaper()); err != nil {
+		t.Fatalf("document should validate against sender schema: %v", err)
+	}
+	if err := axml.Validate(target, nil, newspaper()); err == nil {
+		t.Fatal("document should not validate against target schema yet")
+	}
+
+	rw := axml.NewRewriter(sender, target, 2, weatherInvoker(t))
+	rw.Audit = &axml.Audit{}
+	out, err := rw.RewriteDocument(newspaper(), axml.Safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := axml.Validate(target, nil, out); err != nil {
+		t.Fatalf("rewritten document invalid: %v", err)
+	}
+	if rw.Audit.Len() != 1 {
+		t.Errorf("calls = %d want 1", rw.Audit.Len())
+	}
+}
+
+func TestPublicAPIDocumentRoundTrip(t *testing.T) {
+	s := axml.DocumentString(newspaper())
+	back, err := axml.ParseDocumentString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(newspaper()) {
+		t.Error("document round trip changed tree")
+	}
+}
+
+func TestPublicAPISchemaCompatibility(t *testing.T) {
+	sender := axml.MustParseSchemaText(senderSrc)
+	target := axml.MustParseSchemaTextShared(sender, targetSrc)
+	report, err := axml.SchemaCompatible(sender, target, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Safe() {
+		t.Errorf("(*) should be compatible with (**): %+v", report.Failures())
+	}
+	bad := axml.MustParseSchemaTextShared(sender, strings.Replace(targetSrc,
+		"elem newspaper = title.date.temp.(TimeOut|exhibit*)",
+		"elem newspaper = title.date.temp.exhibit*", 1))
+	report2, err := axml.SchemaCompatible(sender, bad, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Safe() {
+		t.Error("(*) must not be compatible with (***)")
+	}
+}
+
+func TestPublicAPIXSDRoundTrip(t *testing.T) {
+	sender := axml.MustParseSchemaText(senderSrc)
+	var b strings.Builder
+	if err := axml.WriteXSD(&b, sender, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := axml.ParseXSD(strings.NewReader(b.String()), nil, nil)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if err := axml.Validate(back, nil, newspaper()); err != nil {
+		t.Errorf("XSD round-tripped schema rejects the document: %v", err)
+	}
+}
+
+func TestPublicAPICheckOnly(t *testing.T) {
+	sender := axml.MustParseSchemaText(senderSrc)
+	target := axml.MustParseSchemaTextShared(sender, targetSrc)
+	rw := axml.NewRewriter(sender, target, 2, nil) // no invoker: checks only
+	if err := rw.CheckDocument(newspaper(), axml.Safe); err != nil {
+		t.Errorf("safe check failed: %v", err)
+	}
+	if _, err := rw.RewriteDocument(newspaper(), axml.Safe); err == nil {
+		t.Error("rewriting without an invoker should fail loudly")
+	}
+}

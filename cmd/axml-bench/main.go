@@ -1,0 +1,44 @@
+// Command axml-bench regenerates the paper's figures and analytical claims
+// as tables (the E-* experiment index of DESIGN.md / EXPERIMENTS.md).
+//
+//	axml-bench             # run everything
+//	axml-bench -run lazy   # run experiments whose id contains "lazy"
+//	axml-bench -list       # list experiment ids
+//
+// Output is deterministic except for wall-clock timings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"axml/internal/experiments"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "only run experiments whose id contains this substring")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, t := range all {
+			fmt.Printf("%-20s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+	ran := 0
+	for _, t := range all {
+		if *runFilter != "" && !strings.Contains(t.ID, *runFilter) {
+			continue
+		}
+		t.Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "axml-bench: no experiment matches %q\n", *runFilter)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+# Schema (**): the temperature must arrive materialized.
+root newspaper
+elem newspaper = title.date.temp.(TimeOut|exhibit*)
+elem title = data
+elem date = data
+elem temp = data
+elem city = data
+elem exhibit = title.date
+elem performance = data
+func Get_Temp = city -> temp
+func TimeOut = data -> (exhibit|performance)*

@@ -1,0 +1,121 @@
+// Command axmld runs an Active XML peer daemon: it loads a schema and a
+// directory of intensional documents, optionally registers simulated
+// implementations for every declared function, and serves
+//
+//	POST /soap             SOAP operations with schema enforcement
+//	GET  /wsdl             the peer's WSDL_int description
+//	GET  /doc/{name}       repository documents
+//	POST /exchange/{name}  Figure 1 data exchange: body = XML Schema_int,
+//	                       response = the document rewritten to conform
+//
+// Example:
+//
+//	axmld -name news -schema news.axs -docs ./docs -sim 7 -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+	"axml/internal/peer"
+	"axml/internal/regex"
+	"axml/internal/schema"
+	"axml/internal/service"
+	"axml/internal/soap"
+	"axml/internal/workload"
+	"axml/internal/xsdint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "axmld:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("name", "axml-peer", "peer name")
+	schemaPath := flag.String("schema", "", "peer schema (.axs text DSL or .xsd XML Schema_int)")
+	docsDir := flag.String("docs", "", "directory of *.xml intensional documents to load")
+	addr := flag.String("addr", ":8080", "listen address")
+	k := flag.Int("k", 2, "rewriting depth bound")
+	mode := flag.String("mode", "safe", "default enforcement mode: safe | possible | mixed")
+	simSeed := flag.Int64("sim", -1, "register simulated implementations for all declared functions, with this seed")
+	endpoint := flag.String("public", "", "public endpoint URL advertised in WSDL (default http://<addr>/soap)")
+	flag.Parse()
+
+	if *schemaPath == "" {
+		return fmt.Errorf("-schema is required")
+	}
+	s, err := loadSchema(*schemaPath)
+	if err != nil {
+		return err
+	}
+	p := peer.New(*name, s)
+	p.K = *k
+	switch *mode {
+	case "safe":
+		p.Mode = core.Safe
+	case "possible":
+		p.Mode = core.Possible
+	case "mixed":
+		p.Mode = core.Mixed
+	default:
+		return fmt.Errorf("bad -mode %q", *mode)
+	}
+	if *endpoint != "" {
+		p.Endpoint = *endpoint
+	} else {
+		p.Endpoint = "http://" + strings.TrimPrefix(*addr, ":") + "/soap"
+		if strings.HasPrefix(*addr, ":") {
+			p.Endpoint = "http://localhost" + *addr + "/soap"
+		}
+	}
+	p.Remote = &soap.Invoker{}
+
+	if *docsDir != "" {
+		if err := p.Repo.LoadDir(*docsDir); err != nil {
+			return err
+		}
+		log.Printf("loaded %d documents from %s", p.Repo.Len(), *docsDir)
+	}
+	if *simSeed >= 0 {
+		sim := workload.NewSimInvoker(s, rand.New(rand.NewSource(*simSeed)))
+		for _, fname := range s.SortedFuncs() {
+			fname := fname
+			def := s.Funcs[fname]
+			err := p.Services.Register(&service.Operation{
+				Name: fname,
+				Def:  def,
+				Handler: func(params []*doc.Node) ([]*doc.Node, error) {
+					return sim.Invoke(doc.Call(fname, params...))
+				},
+			})
+			if err != nil {
+				return err
+			}
+		}
+		log.Printf("registered %d simulated operations", len(s.Funcs))
+	}
+
+	log.Printf("peer %q serving on %s (k=%d, mode=%s)", *name, *addr, *k, p.Mode)
+	return http.ListenAndServe(*addr, p.Handler())
+}
+
+func loadSchema(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".xsd") || strings.HasSuffix(path, ".xml") {
+		return xsdint.ParseString(string(data), xsdint.Options{Table: regex.NewTable()})
+	}
+	return schema.ParseText(string(data), nil)
+}

@@ -1,0 +1,272 @@
+// Package core implements the rewriting algorithms of Milo et al.,
+// "Exchanging Intensional XML Data" (SIGMOD 2003): k-depth left-to-right
+// *safe* rewriting (Section 4, Figure 3), *possible* rewriting (Section 5,
+// Figure 9), the *mixed* strategy, the lazy pruned variant of Section 7
+// (Figure 12), and schema-level compatibility checking (Section 6) — plus
+// the tree-level execution engine that drives real service invocations
+// through an Invoker.
+//
+// The flow mirrors the paper. Given a document t, a sender schema s0 (the
+// WSDL descriptions of every function appearing in t) and an exchange schema
+// s, a rewriting:
+//
+//  1. checks, bottom-up, that the parameters of every function node can be
+//     rewritten into the function's input type;
+//  2. traverses the tree top-down; and
+//  3. for every node, rewrites the word of its children labels into the
+//     node's content model by deciding, left to right, which function
+//     occurrences to invoke.
+//
+// Step 3 is the automata-theoretic heart: the fork automaton A_w^k describes
+// every word reachable by a k-depth rewriting of w; safety holds iff the
+// rewriter has a strategy avoiding the complement Ā of the target content
+// model no matter which output instances the invoked services return.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"axml/internal/regex"
+	"axml/internal/schema"
+)
+
+// Compiled bundles everything the word-level algorithms need about a
+// (sender schema, exchange schema) pair: the shared symbol table, per-symbol
+// function information, the effective alphabet, and target content models
+// with function patterns expanded into alternations of the declared
+// functions that match them.
+type Compiled struct {
+	Table  *regex.Table
+	Sender *schema.Schema
+	Target *schema.Schema
+
+	funcs    map[regex.Symbol]*FuncInfo
+	alphabet []regex.Symbol
+	expanded map[string]*regex.Regex // memo: expandPatterns by regex key
+}
+
+// FuncInfo is the word-level view of a function or function-pattern symbol.
+type FuncInfo struct {
+	Sym regex.Symbol
+	// Out is the output type; nil means the function returns atomic data,
+	// which at the word level is the empty word ε.
+	Out *regex.Regex
+	// In is the input type (nil = atomic data); used by the tree phases.
+	In        *regex.Regex
+	Invocable bool
+	Cost      float64
+	// SideEffects blocks speculative pre-invocation in the mixed strategy.
+	SideEffects bool
+	// IsPattern marks abstract pattern symbols (occurring in output types).
+	IsPattern bool
+}
+
+// Compile analyzes the schema pair. Both schemas must share one symbol
+// table; Compile panics otherwise, since silently mixing two tables would
+// corrupt every automaton built downstream.
+func Compile(sender, target *schema.Schema) *Compiled {
+	if sender == nil {
+		sender = target
+	}
+	if sender.Table != target.Table {
+		panic("core: sender and target schemas must share one symbol table")
+	}
+	c := &Compiled{
+		Table:    target.Table,
+		Sender:   sender,
+		Target:   target,
+		funcs:    make(map[regex.Symbol]*FuncInfo),
+		expanded: make(map[string]*regex.Regex),
+	}
+	// Declared functions: the target's view wins on policy (invocability),
+	// because the exchange schema is where §2.1 restrictions live, but
+	// signatures may come from either side (they agree by assumption).
+	add := func(def *schema.FuncDef) {
+		sym := c.Table.Intern(def.Name)
+		if _, done := c.funcs[sym]; done {
+			return
+		}
+		c.funcs[sym] = &FuncInfo{
+			Sym:         sym,
+			Out:         def.Out,
+			In:          def.In,
+			Invocable:   def.Invocable,
+			Cost:        def.Cost,
+			SideEffects: def.SideEffects,
+		}
+	}
+	for _, name := range target.SortedFuncs() {
+		add(target.Funcs[name])
+	}
+	for _, name := range sender.SortedFuncs() {
+		add(sender.Funcs[name])
+	}
+	// Pattern symbols act as abstract functions when they occur inside
+	// output types: invoking "some function matching p" yields a word of
+	// p's output type.
+	addPattern := func(def *schema.PatternDef) {
+		sym := c.Table.Intern(def.Name)
+		if _, done := c.funcs[sym]; done {
+			return
+		}
+		c.funcs[sym] = &FuncInfo{
+			Sym:       sym,
+			Out:       def.Out,
+			In:        def.In,
+			Invocable: def.Invocable,
+			IsPattern: true,
+		}
+	}
+	for _, name := range target.SortedPatterns() {
+		addPattern(target.Patterns[name])
+	}
+	for _, name := range sender.SortedPatterns() {
+		addPattern(sender.Patterns[name])
+	}
+
+	sigma := append(sender.Alphabet(), target.Alphabet()...)
+	sort.Slice(sigma, func(i, j int) bool { return sigma[i] < sigma[j] })
+	c.alphabet = dedup(sigma)
+	return c
+}
+
+func dedup(s []regex.Symbol) []regex.Symbol {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Func returns the function info for a symbol, or nil for non-function
+// symbols (element labels, undeclared names).
+func (c *Compiled) Func(sym regex.Symbol) *FuncInfo { return c.funcs[sym] }
+
+// Alphabet returns the effective alphabet: every symbol either schema
+// mentions. Words being rewritten may intern additional symbols; callers
+// pass those separately to the analyses.
+func (c *Compiled) Alphabet() []regex.Symbol { return c.alphabet }
+
+// ExpandPatterns rewrites a target-side content model so that each function
+// pattern symbol p becomes the alternation of p itself (covering abstract
+// occurrences from output types) and every *declared* function matching p.
+// This is what lets a concrete document function be "read as" a pattern by
+// the product constructions, which otherwise compare plain symbols.
+func (c *Compiled) ExpandPatterns(r *regex.Regex) *regex.Regex {
+	if r == nil {
+		return nil
+	}
+	if len(c.Target.Patterns) == 0 && len(c.Sender.Patterns) == 0 {
+		return r
+	}
+	if memo, ok := c.expanded[r.Key()]; ok {
+		return memo
+	}
+	subst := make(map[regex.Symbol]*regex.Regex)
+	expandInto := func(s *schema.Schema, pname string) {
+		p := s.Patterns[pname]
+		psym := c.Table.Intern(pname)
+		if _, done := subst[psym]; done {
+			return
+		}
+		alts := []*regex.Regex{regex.Sym(psym)}
+		for _, fname := range c.Sender.SortedFuncs() {
+			if schema.FuncMatchesPattern(c.Sender.Funcs[fname], p) {
+				alts = append(alts, regex.Sym(c.Table.Intern(fname)))
+			}
+		}
+		for _, fname := range c.Target.SortedFuncs() {
+			if c.Sender.Funcs[fname] != nil {
+				continue // already considered
+			}
+			if schema.FuncMatchesPattern(c.Target.Funcs[fname], p) {
+				alts = append(alts, regex.Sym(c.Table.Intern(fname)))
+			}
+		}
+		subst[psym] = regex.Alt(alts...)
+	}
+	for _, pname := range c.Target.SortedPatterns() {
+		expandInto(c.Target, pname)
+	}
+	for _, pname := range c.Sender.SortedPatterns() {
+		expandInto(c.Sender, pname)
+	}
+	out := substitute(r, subst)
+	c.expanded[r.Key()] = out
+	return out
+}
+
+// substitute replaces symbol leaves per the map, leaving everything else
+// untouched.
+func substitute(r *regex.Regex, subst map[regex.Symbol]*regex.Regex) *regex.Regex {
+	switch r.Op {
+	case regex.OpSym:
+		if repl, ok := subst[r.Sym]; ok {
+			return repl
+		}
+		return r
+	case regex.OpConcat:
+		subs := make([]*regex.Regex, len(r.Subs))
+		for i, s := range r.Subs {
+			subs[i] = substitute(s, subst)
+		}
+		return regex.Concat(subs...)
+	case regex.OpAlt:
+		subs := make([]*regex.Regex, len(r.Subs))
+		for i, s := range r.Subs {
+			subs[i] = substitute(s, subst)
+		}
+		return regex.Alt(subs...)
+	case regex.OpStar:
+		return regex.Star(substitute(r.Subs[0], subst))
+	default:
+		return r
+	}
+}
+
+// ContentModel returns the (pattern-expanded) content model of a target
+// label; isData reports atomic content.
+func (c *Compiled) ContentModel(label string) (r *regex.Regex, isData, ok bool) {
+	raw, isData, ok := c.Target.Content(label)
+	if !ok || isData {
+		return nil, isData, ok
+	}
+	return c.ExpandPatterns(raw), false, true
+}
+
+// InputType returns the (pattern-expanded) input type of a function symbol;
+// exists is false when the symbol is not a function.
+func (c *Compiled) InputType(sym regex.Symbol) (r *regex.Regex, isData bool, exists bool) {
+	fi := c.funcs[sym]
+	if fi == nil {
+		return nil, false, false
+	}
+	if fi.In == nil {
+		return nil, true, true
+	}
+	return c.ExpandPatterns(fi.In), false, true
+}
+
+func (c *Compiled) symName(s regex.Symbol) string { return c.Table.Name(s) }
+
+// Err helpers shared by analyses and executors.
+
+// NotSafeError reports why a rewriting request was judged unsafe or
+// impossible, with the path of the offending node when known.
+type NotSafeError struct {
+	Path string
+	Msg  string
+}
+
+func (e *NotSafeError) Error() string {
+	if e.Path == "" {
+		return "core: " + e.Msg
+	}
+	return fmt.Sprintf("core: %s: %s", e.Path, e.Msg)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"axml/internal/doc"
+)
+
+// Converter is the "automatic converter" extension sketched in the paper's
+// conclusion: when a service returns data that is not an output instance of
+// its declared type, converters get a chance to restructure it before the
+// exchange is failed. Typical converters rename elements, unwrap envelopes,
+// or translate values (the paper's Celsius-to-Fahrenheit example).
+type Converter interface {
+	// Convert attempts to restructure the forest returned by function fn
+	// into an output instance. It returns the replacement and true on
+	// success; the input must not be mutated on failure.
+	Convert(fn string, forest []*doc.Node) ([]*doc.Node, bool)
+}
+
+// ConverterFunc adapts a function to Converter.
+type ConverterFunc func(fn string, forest []*doc.Node) ([]*doc.Node, bool)
+
+// Convert implements Converter.
+func (f ConverterFunc) Convert(fn string, forest []*doc.Node) ([]*doc.Node, bool) {
+	return f(fn, forest)
+}
+
+// Converters tries each converter in order until the result validates; it is
+// itself a building block, not a Converter (validation lives in the caller).
+type Converters []Converter
+
+// RenameLabels returns a converter that renames element and function labels
+// throughout the returned forest — the classic fix for services that use a
+// synonymous vocabulary (temperature vs temp).
+func RenameLabels(mapping map[string]string) Converter {
+	return ConverterFunc(func(fn string, forest []*doc.Node) ([]*doc.Node, bool) {
+		out := doc.CloneForest(forest)
+		changed := false
+		for _, n := range out {
+			n.Walk(func(m *doc.Node) bool {
+				if next, ok := mapping[m.Label]; ok && m.Kind != doc.Text {
+					m.Label = next
+					changed = true
+				}
+				return true
+			})
+		}
+		if !changed {
+			return nil, false
+		}
+		return out, true
+	})
+}
+
+// Unwrap returns a converter that strips a wrapper element: a service that
+// returns <result><temp>...</temp></result> where the signature promises a
+// bare temp.
+func Unwrap(wrapper string) Converter {
+	return ConverterFunc(func(fn string, forest []*doc.Node) ([]*doc.Node, bool) {
+		var out []*doc.Node
+		changed := false
+		for _, n := range forest {
+			if n.Kind == doc.Element && n.Label == wrapper {
+				out = append(out, doc.CloneForest(n.Children)...)
+				changed = true
+				continue
+			}
+			out = append(out, n.Clone())
+		}
+		if !changed {
+			return nil, false
+		}
+		return out, true
+	})
+}
+
+// MapValues returns a converter that rewrites the text content of elements
+// with the given label — the value-translation case (units, encodings).
+func MapValues(label string, translate func(string) (string, bool)) Converter {
+	return ConverterFunc(func(fn string, forest []*doc.Node) ([]*doc.Node, bool) {
+		out := doc.CloneForest(forest)
+		changed := false
+		for _, n := range out {
+			n.Walk(func(m *doc.Node) bool {
+				if m.Kind == doc.Element && m.Label == label {
+					for _, ch := range m.Children {
+						if ch.Kind == doc.Text {
+							if v, ok := translate(ch.Value); ok {
+								ch.Value = v
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		if !changed {
+			return nil, false
+		}
+		return out, true
+	})
+}
+
+// applyConverters runs the rewriter's converter chain against a rejected
+// result, revalidating after each attempt; it returns the first conforming
+// restructuring.
+func (ex *executor) applyConverters(call *doc.Node, result []*doc.Node) ([]*doc.Node, bool) {
+	for _, conv := range ex.rw.Converters {
+		fixed, ok := conv.Convert(call.Label, result)
+		if !ok {
+			continue
+		}
+		if err := ex.rw.ctx.IsOutputInstance(call.Label, fixed); err == nil {
+			return fixed, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"axml/internal/doc"
+	"axml/internal/regex"
+)
+
+// RewriteDocument rewrites the document in place into the target schema and
+// returns the (possibly new) root: when the root itself is a function node,
+// invoking it replaces it by the returned element. The returned document is
+// an instance of the target schema, or an error explains why the rewriting
+// was refused (safe mode) or failed (possible mode, with any side-effecting
+// calls already recorded in the Audit).
+func (rw *Rewriter) RewriteDocument(root *doc.Node, mode Mode) (*doc.Node, error) {
+	typ, err := rw.documentType(root)
+	if err != nil {
+		return nil, err
+	}
+	out, err := rw.RewriteForest([]*doc.Node{root}, typ, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != 1 {
+		return nil, &NotSafeError{Msg: fmt.Sprintf("document rewriting produced %d roots", len(out))}
+	}
+	return out[0], nil
+}
+
+// RewriteForest rewrites a forest into the given word type — the operation
+// the Schema Enforcement module applies to service parameters (typ = τ_in)
+// and results (typ = τ_out). Trees are mutated in place; the returned slice
+// is the new top level.
+func (rw *Rewriter) RewriteForest(forest []*doc.Node, typ *regex.Regex, mode Mode) ([]*doc.Node, error) {
+	if rw.Invoker == nil {
+		return nil, fmt.Errorf("core: Rewriter has no Invoker; use CheckForest for static analysis")
+	}
+	ex := &executor{rw: rw, mode: mode, paramsDone: map[*doc.Node]bool{}, permafrost: map[*doc.Node]bool{}}
+	if mode == Mixed {
+		pre, err := ex.preInvoke(forest, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		forest = pre
+		ex.mode = Safe
+	}
+	switch mode {
+	case Safe, Mixed:
+		// Refuse before the first call: safety is decided statically.
+		if err := rw.CheckForest(forest, typ, Safe); err != nil {
+			return nil, err
+		}
+	case Possible:
+		// A hopeless request is refused with zero side effects; failures
+		// after this point stem from unlucky actual returns.
+		if err := rw.CheckForest(forest, typ, Possible); err != nil {
+			return nil, err
+		}
+	}
+	return ex.forest(forest, typ, nil)
+}
+
+type executor struct {
+	rw   *Rewriter
+	mode Mode
+	// paramsDone marks function nodes whose parameters have been
+	// materialized into input instances (or arrived conformant from an
+	// invocation result).
+	paramsDone map[*doc.Node]bool
+	// permafrost marks functions that can never be invoked: undeclared,
+	// non-invocable, or parameters beyond repair in lenient mode.
+	permafrost map[*doc.Node]bool
+	calls      int
+}
+
+// forest runs the three phases on one forest against a word type and
+// returns the rewritten top level.
+func (ex *executor) forest(forest []*doc.Node, typ *regex.Regex, path []string) ([]*doc.Node, error) {
+	// Phase 1: parameters, deepest functions first.
+	for _, tree := range forest {
+		for _, f := range doc.FuncsBottomUp(tree) {
+			if err := ex.materializeParams(f, path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Phase 3 at this level: rewrite the word of root labels.
+	out, err := ex.rewriteWord(forest, typ, path)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: recurse into element subtrees.
+	for i, tree := range out {
+		if tree.Kind != doc.Element {
+			continue
+		}
+		if err := ex.element(tree, append(path, fmt.Sprintf("%s[%d]", tree.Label, i))); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// materializeParams rewrites f's parameters into its input type, memoized.
+// Failures freeze f in lenient mode and abort in strict mode.
+func (ex *executor) materializeParams(f *doc.Node, path []string) error {
+	if ex.paramsDone[f] || ex.permafrost[f] {
+		return nil
+	}
+	c := ex.rw.Compiled
+	fail := func(err error) error {
+		if ex.rw.StrictParams {
+			return err
+		}
+		ex.permafrost[f] = true
+		return nil
+	}
+	in, isData, exists := c.InputType(c.Table.Intern(f.Label))
+	if !exists {
+		return fail(&NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("function %q is not declared by either schema", f.Label)})
+	}
+	if isData {
+		kids, err := ex.collapseToData(f.Children, append(path, "@"+f.Label))
+		if err != nil {
+			return fail(err)
+		}
+		f.Children = kids
+		ex.paramsDone[f] = true
+		return nil
+	}
+	kids, err := ex.forest(f.Children, in, append(path, "@"+f.Label))
+	if err != nil {
+		return fail(err)
+	}
+	f.Children = kids
+	ex.paramsDone[f] = true
+	return nil
+}
+
+// collapseToData materializes a forest into pure text: data-returning
+// invocable functions are called, anything else non-text is an error.
+func (ex *executor) collapseToData(children []*doc.Node, path []string) ([]*doc.Node, error) {
+	c := ex.rw.Compiled
+	out := make([]*doc.Node, 0, len(children))
+	for _, ch := range children {
+		switch ch.Kind {
+		case doc.Text:
+			out = append(out, ch)
+		case doc.Func:
+			fi := c.Func(c.Table.Intern(ch.Label))
+			if fi == nil || !fi.Invocable || fi.Out != nil || ex.rw.K < 1 {
+				return nil, &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("cannot collapse %q to atomic data", ch.Label)}
+			}
+			if err := ex.materializeParams(ch, path); err != nil {
+				return nil, err
+			}
+			if ex.permafrost[ch] {
+				return nil, &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("parameters of %q cannot be fixed", ch.Label)}
+			}
+			res, err := ex.invoke(ch, 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res...)
+		default:
+			return nil, &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("element %q where atomic data is required", ch.Label)}
+		}
+	}
+	return out, nil
+}
+
+// element rewrites one element node in place.
+func (ex *executor) element(e *doc.Node, path []string) error {
+	c := ex.rw.Compiled
+	content, isData, declared := c.ContentModel(e.Label)
+	if !declared {
+		if ex.rw.ctx.Strict {
+			return &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("element %q is not declared by the target schema", e.Label)}
+		}
+		return nil
+	}
+	if isData {
+		kids, err := ex.collapseToData(e.Children, path)
+		if err != nil {
+			return err
+		}
+		e.Children = kids
+		return nil
+	}
+	for _, ch := range e.Children {
+		if ch.Kind == doc.Text && strings.TrimSpace(ch.Value) != "" {
+			return &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("element %q has structured content but contains text", e.Label)}
+		}
+	}
+	kids, err := ex.rewriteWord(e.Children, content, path)
+	if err != nil {
+		return err
+	}
+	e.Children = kids
+	for i, ch := range kids {
+		if ch.Kind == doc.Element {
+			if err := ex.element(ch, append(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// item is one child slot during word rewriting.
+type item struct {
+	node   *doc.Node
+	depth  int
+	kept   bool // decided keep (tentative in possible mode)
+	forced bool // backtracking flipped this occurrence to "must call"
+}
+
+// rewriteWord performs the per-node decision loop: scan left to right, for
+// each invocable function occurrence test whether keeping it preserves the
+// verdict; keep if so, invoke otherwise. In possible mode a final mismatch
+// backtracks over keeps made after the last call (left-to-right rewritings
+// never revisit positions left of an invocation).
+func (ex *executor) rewriteWord(children []*doc.Node, typ *regex.Regex, path []string) ([]*doc.Node, error) {
+	w := &wordRun{ex: ex, typ: typ}
+	w.items = make([]*item, len(children))
+	for i, ch := range children {
+		w.items[i] = &item{node: ch}
+	}
+	if err := w.decideFrom(0); err != nil {
+		return nil, err
+	}
+	// Final verification, with possible-mode backtracking over keeps made
+	// after the last invocation (left-to-right rewritings never revisit
+	// positions left of a performed call).
+	for {
+		nodes := make([]*doc.Node, len(w.items))
+		for i, it := range w.items {
+			nodes[i] = it.node
+		}
+		if ex.rw.ctx.MatchWord(typ, nodes) {
+			return nodes, nil
+		}
+		if ex.mode != Possible || len(w.kept) == 0 {
+			return nil, &NotSafeError{
+				Path: pathString(path),
+				Msg: fmt.Sprintf("rewriting finished on %v which does not match %s (mode %s, %d calls made)",
+					forestLabels(nodes), typ.String(ex.rw.Compiled.Table), ex.mode, ex.calls),
+			}
+		}
+		// Flip the most recent keep to a forced call and resume there.
+		flip := w.kept[len(w.kept)-1]
+		w.kept = w.kept[:len(w.kept)-1]
+		flip.kept = false
+		flip.forced = true
+		pos := 0
+		for i, it := range w.items {
+			if it == flip {
+				pos = i
+				break
+			}
+		}
+		if err := w.decideFrom(pos); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// wordRun carries the mutable state of one word-rewriting pass.
+type wordRun struct {
+	ex    *executor
+	typ   *regex.Regex
+	items []*item
+	kept  []*item // keeps decided since the last invocation
+}
+
+// decideFrom runs the left-to-right decision loop starting at index j: for
+// every invocable occurrence, tentatively keep it and test the verdict;
+// invoke it when keeping breaks the verdict (or when backtracking forced it).
+func (w *wordRun) decideFrom(j int) error {
+	ex := w.ex
+	for j < len(w.items) {
+		it := w.items[j]
+		if !ex.callable(it) {
+			j++
+			continue
+		}
+		if !it.forced {
+			it.kept = true
+			ok, err := ex.rw.wordOK(ex.tokens(w.items), w.typ, ex.mode)
+			if err != nil {
+				return err
+			}
+			if ok {
+				w.kept = append(w.kept, it)
+				j++
+				continue
+			}
+			it.kept = false
+		}
+		res, err := ex.invoke(it.node, it.depth+1)
+		if err != nil {
+			return err
+		}
+		spliced := make([]*item, 0, len(w.items)-1+len(res))
+		spliced = append(spliced, w.items[:j]...)
+		for _, n := range res {
+			spliced = append(spliced, &item{node: n, depth: it.depth + 1})
+			if n.Kind == doc.Func {
+				// Output instances conform: parameters arrive materialized.
+				ex.paramsDone[n] = true
+			}
+		}
+		spliced = append(spliced, w.items[j+1:]...)
+		w.items = spliced
+		w.kept = w.kept[:0] // nothing left of a call may flip
+		// Do not advance: returned occurrences are processed in order.
+	}
+	return nil
+}
+
+// callable reports whether the item is a function occurrence the executor
+// may still invoke.
+func (ex *executor) callable(it *item) bool {
+	if it.node.Kind != doc.Func || it.kept || it.depth >= ex.rw.K {
+		return false
+	}
+	if ex.permafrost[it.node] {
+		return false
+	}
+	c := ex.rw.Compiled
+	fi := c.Func(c.Table.Intern(it.node.Label))
+	if fi == nil || !fi.Invocable {
+		return false
+	}
+	return ex.paramsDone[it.node]
+}
+
+// tokens projects items to analysis tokens; kept and uncallable functions
+// are frozen.
+func (ex *executor) tokens(items []*item) []Token {
+	c := ex.rw.Compiled
+	out := make([]Token, 0, len(items))
+	for _, it := range items {
+		if it.node.Kind == doc.Text {
+			continue
+		}
+		tok := Token{Sym: c.Table.Intern(it.node.Label), Node: it.node, Depth: it.depth}
+		if it.node.Kind == doc.Func && (it.kept || !ex.callable(it)) {
+			tok.Frozen = true
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// invoke performs one service call with validation and auditing.
+func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
+	if ex.calls >= ex.rw.MaxCalls {
+		return nil, fmt.Errorf("core: invocation budget of %d calls exhausted (recursive service?)", ex.rw.MaxCalls)
+	}
+	ex.calls++
+	res, err := ex.rw.Invoker.Invoke(call)
+	if err != nil {
+		return nil, fmt.Errorf("core: invoking %q: %w", call.Label, err)
+	}
+	if ex.rw.ValidateReturns {
+		if err := ex.rw.ctx.IsOutputInstance(call.Label, res); err != nil {
+			fixed, ok := ex.applyConverters(call, res)
+			if !ok {
+				return nil, fmt.Errorf("core: %q returned a non-conforming result: %w", call.Label, err)
+			}
+			res = fixed
+		}
+	}
+	c := ex.rw.Compiled
+	var cost float64
+	if fi := c.Func(c.Table.Intern(call.Label)); fi != nil {
+		cost = fi.Cost
+	}
+	ex.rw.Audit.Record(CallRecord{Func: call.Label, Depth: depth, Cost: cost, ResultNodes: len(res)})
+	return res, nil
+}
+
+// preInvoke is the Mixed mode's speculative pass: invoke every outermost
+// function the PreInvoke predicate admits (default: side-effect-free and
+// zero cost), splice the actual results, and recurse into them while depth
+// allows. The subsequent safe analysis then works on the concrete data.
+func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*doc.Node, error) {
+	pred := ex.rw.PreInvoke
+	if pred == nil {
+		pred = func(fi *FuncInfo) bool { return !fi.SideEffects && fi.Cost == 0 }
+	}
+	c := ex.rw.Compiled
+	out := make([]*doc.Node, 0, len(forest))
+	for _, n := range forest {
+		if n.Kind == doc.Element {
+			kids, err := ex.preInvoke(n.Children, depth, append(path, n.Label))
+			if err != nil {
+				return nil, err
+			}
+			n.Children = kids
+			out = append(out, n)
+			continue
+		}
+		if n.Kind != doc.Func || depth >= ex.rw.K {
+			out = append(out, n)
+			continue
+		}
+		fi := c.Func(c.Table.Intern(n.Label))
+		if fi == nil || !fi.Invocable || !pred(fi) {
+			out = append(out, n)
+			continue
+		}
+		for _, f := range doc.FuncsBottomUp(n) {
+			if err := ex.materializeParams(f, path); err != nil {
+				return nil, err
+			}
+		}
+		if ex.permafrost[n] {
+			out = append(out, n)
+			continue
+		}
+		res, err := ex.invoke(n, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res {
+			if r.Kind == doc.Func {
+				ex.paramsDone[r] = true
+			}
+		}
+		deeper, err := ex.preInvoke(res, depth+1, path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, deeper...)
+	}
+	return out, nil
+}

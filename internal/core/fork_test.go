@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/regex"
+	"axml/internal/schema"
+)
+
+// TestCopySharingAblation quantifies the copy-sharing design choice: for a
+// recursive output type, the literal per-edge attachment of Figure 3 grows
+// exponentially in k while the shared construction stays linear — with the
+// same language.
+func TestCopySharingAblation(t *testing.T) {
+	c, w, _ := recursiveFixture(t)
+	var prevUnshared int
+	for _, k := range []int{2, 4, 6, 8} {
+		shared, err := BuildFork(c, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unshared, err := BuildForkUnshared(c, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared.NumStates() > unshared.NumStates() {
+			t.Errorf("k=%d: sharing grew the automaton: %d > %d", k, shared.NumStates(), unshared.NumStates())
+		}
+		// Linear vs exponential: shared grows by a constant per level;
+		// unshared at least doubles per level (two Get_More edges per copy).
+		if k >= 4 && unshared.NumStates() < 2*prevUnshared-8 {
+			t.Errorf("k=%d: unshared growth suspiciously slow: %d after %d", k, unshared.NumStates(), prevUnshared)
+		}
+		prevUnshared = unshared.NumStates()
+		// Language agreement on sample words.
+		url := c.Table.Intern("url")
+		more := c.Table.Intern("Get_More")
+		for _, word := range [][]regex.Symbol{
+			{url, more},
+			{url, url, url},
+			{url, url, more},
+			{url},
+			{more, url},
+		} {
+			if shared.Accepts(word) != unshared.Accepts(word) {
+				t.Fatalf("k=%d: languages diverge on %v", k, word)
+			}
+		}
+	}
+}
+
+func recursiveFixture(t *testing.T) (*Compiled, []Token, *regex.Regex) {
+	t.Helper()
+	s := schema.MustParseText(`
+root results
+elem results = url*.Get_More?
+elem url = data
+func Get_More = data -> url*.Get_More?
+`, nil)
+	c := Compile(s, s)
+	w := WordTokens([]regex.Symbol{c.Table.Intern("url"), c.Table.Intern("Get_More")})
+	return c, w, regex.MustParse(c.Table, "url*")
+}
+
+// TestMaxForkStatesGuard: the unshared construction trips the state cap
+// instead of exhausting memory.
+func TestMaxForkStatesGuard(t *testing.T) {
+	c, w, _ := recursiveFixture(t)
+	_, err := BuildForkUnshared(c, w, 40)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("expected state-cap error, got %v", err)
+	}
+	// The shared construction handles the same k comfortably.
+	if _, err := BuildFork(c, w, 40); err != nil {
+		t.Errorf("shared construction should survive k=40: %v", err)
+	}
+}
+
+// TestMustCallValidation: MustCall tokens must be declared functions.
+func TestMustCallValidation(t *testing.T) {
+	c, _, _ := recursiveFixture(t)
+	bad := []Token{{Sym: c.Table.Intern("url"), MustCall: true}}
+	if _, err := BuildFork(c, bad, 1); err == nil {
+		t.Error("MustCall on a non-function should fail")
+	}
+}
+
+// BenchmarkCopySharingAblation: the design-choice bench DESIGN.md calls out.
+func BenchmarkCopySharingAblation(b *testing.B) {
+	s := schema.MustParseText(`
+root results
+elem results = url*.Get_More?
+elem url = data
+func Get_More = data -> url*.Get_More?
+`, nil)
+	c := Compile(s, s)
+	w := WordTokens([]regex.Symbol{c.Table.Intern("url"), c.Table.Intern("Get_More")})
+	b.Run("shared/k=8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildFork(c, w, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unshared/k=8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildForkUnshared(c, w, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"axml/internal/doc"
+)
+
+// Invoker performs the actual Web-service calls during rewriting. The call
+// node's children are its (already materialized) parameters; the returned
+// forest replaces the node. Implementations live in internal/service (local
+// registries, simulated services) and internal/soap (remote endpoints).
+type Invoker interface {
+	Invoke(call *doc.Node) ([]*doc.Node, error)
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(*doc.Node) ([]*doc.Node, error)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(call *doc.Node) ([]*doc.Node, error) { return f(call) }
+
+// CallRecord documents one service invocation performed by a rewriting — the
+// audit trail matters because possible-mode rewritings may fail *after*
+// performing side-effecting calls, and the caller must know what happened.
+type CallRecord struct {
+	Func string
+	// Depth is the invocation depth (1 = original occurrence).
+	Depth int
+	Cost  float64
+	// ResultNodes counts the root nodes of the returned forest.
+	ResultNodes int
+}
+
+// Audit accumulates the invocation trail of a rewriting. Safe for concurrent
+// use: peers share one audit across requests.
+type Audit struct {
+	mu    sync.Mutex
+	calls []CallRecord
+}
+
+// Record appends a call record.
+func (a *Audit) Record(r CallRecord) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.calls = append(a.calls, r)
+}
+
+// Calls returns a copy of the trail.
+func (a *Audit) Calls() []CallRecord {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]CallRecord, len(a.calls))
+	copy(out, a.calls)
+	return out
+}
+
+// Len returns the number of recorded calls.
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.calls)
+}
+
+// TotalCost sums the recorded costs.
+func (a *Audit) TotalCost() float64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0.0
+	for _, c := range a.calls {
+		total += c.Cost
+	}
+	return total
+}
+
+// Reset clears the trail.
+func (a *Audit) Reset() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.calls = nil
+}
+
+func (a *Audit) String() string {
+	return fmt.Sprintf("Audit{%d calls, cost %.2f}", a.Len(), a.TotalCost())
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"axml/internal/doc"
+	"axml/internal/regex"
+	"axml/internal/schema"
+	"axml/internal/workload"
+)
+
+// randomInstanceSetup builds a random schema, a random instance of it and a
+// compiled pair rewriting the schema into itself-with-materialization: the
+// target is the same schema but the checks run against arbitrary random
+// content models drawn from its labels.
+func randomInstanceSetup(seed int64) (*schema.Schema, *doc.Node, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	s := workload.RandomSchema(rng, workload.Options{Labels: 4, Funcs: 3})
+	g := workload.NewGenerator(s, rng)
+	g.MaxDepth = 6
+	root, err := g.Root()
+	if err != nil {
+		panic(err)
+	}
+	return s, root, rng
+}
+
+// Property: eager and lazy verdicts agree (safe and possible) on random
+// words against random targets.
+func TestQuickEagerLazyAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		s, root, rng := randomInstanceSetup(seed)
+		c := Compile(s, s)
+		tokens := TokensOf(c, root)
+		// Random target: the content model of a random structured label.
+		labels := s.SortedLabels()
+		target := s.Labels[labels[rng.Intn(len(labels))]].Content
+		if target == nil {
+			return true
+		}
+		k := 1 + rng.Intn(2)
+		eagerSafe, err := WordSafe(c, tokens, target, k)
+		if err != nil {
+			return false
+		}
+		lazySafe, err := LazySafe(c, tokens, target, k)
+		if err != nil {
+			return false
+		}
+		if eagerSafe != lazySafe.Verdict {
+			t.Logf("seed %d: eager safe=%v lazy=%v", seed, eagerSafe, lazySafe.Verdict)
+			return false
+		}
+		eagerPoss, err := WordPossible(c, tokens, target, k)
+		if err != nil {
+			return false
+		}
+		lazyPoss, err := LazyPossible(c, tokens, target, k)
+		if err != nil {
+			return false
+		}
+		if eagerPoss != lazyPoss.Verdict {
+			t.Logf("seed %d: eager possible=%v lazy=%v", seed, eagerPoss, lazyPoss.Verdict)
+			return false
+		}
+		// Safe implies possible.
+		if eagerSafe && !eagerPoss {
+			t.Logf("seed %d: safe but not possible", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lazy explores at most as many states as eager constructs.
+func TestQuickLazyNeverExploresMore(t *testing.T) {
+	f := func(seed int64) bool {
+		s, root, rng := randomInstanceSetup(seed)
+		c := Compile(s, s)
+		tokens := TokensOf(c, root)
+		labels := s.SortedLabels()
+		target := s.Labels[labels[rng.Intn(len(labels))]].Content
+		if target == nil {
+			return true
+		}
+		eager, err := AnalyzeSafe(c, tokens, target, 2, nil)
+		if err != nil {
+			return false
+		}
+		lazy, err := LazySafe(c, tokens, target, 2)
+		if err != nil {
+			return false
+		}
+		// The state spaces differ slightly (derivatives vs subset states),
+		// so allow equality-with-slack only in the eager direction: the
+		// lazy count must not exceed eager's by more than the derivative
+		// granularity bound (distinct derivatives ≤ subset states + 1 for
+		// the ∅ sink per fork state).
+		return lazy.StatesExplored <= eager.NumProdStates()+len(eager.Fork.Accept)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when the static check says a random instance safely rewrites
+// into its own schema's materialized variant, execution with a randomized
+// (adversarial) simulated invoker always succeeds — for every seed.
+func TestQuickSafeExecutionAlwaysSucceeds(t *testing.T) {
+	f := func(seed int64) bool {
+		s, root, rng := randomInstanceSetup(seed)
+		inv := workload.NewSimInvoker(s, rng)
+		rw := NewRewriter(s, s, 2, inv)
+		rw.Audit = &Audit{}
+		if err := rw.CheckDocument(root, Safe); err != nil {
+			return true // not safe: nothing to verify
+		}
+		out, err := rw.RewriteDocument(root.Clone(), Safe)
+		if err != nil {
+			t.Logf("seed %d: safe execution failed: %v", seed, err)
+			return false
+		}
+		if err := rw.Context().Validate(out); err != nil {
+			t.Logf("seed %d: safe execution produced invalid doc: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rewriting into the schema the instance was generated from needs
+// zero calls (it is already an instance) and succeeds in every mode.
+func TestQuickIdentityRewriteNoCalls(t *testing.T) {
+	f := func(seed int64) bool {
+		s, root, rng := randomInstanceSetup(seed)
+		_ = rng
+		inv := workload.NewSimInvoker(s, rand.New(rand.NewSource(seed+1)))
+		for _, mode := range []Mode{Safe, Possible} {
+			rw := NewRewriter(s, s, 1, inv)
+			rw.Audit = &Audit{}
+			out, err := rw.RewriteDocument(root.Clone(), mode)
+			if err != nil {
+				t.Logf("seed %d mode %v: %v", seed, mode, err)
+				return false
+			}
+			if rw.Audit.Len() != 0 {
+				t.Logf("seed %d mode %v: identity rewrite made %d calls", seed, mode, rw.Audit.Len())
+				return false
+			}
+			if err := rw.Context().Validate(out); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: schema-level safety transfers to instances — if the schema
+// safely rewrites into a target, then every generated instance passes the
+// document-level safe check.
+func TestQuickSchemaRewriteSoundOnInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := workload.RandomSchema(rng, workload.Options{Labels: 3, Funcs: 2})
+		c := Compile(s, s)
+		report, err := SchemaSafeRewrite(c, "", 2)
+		if err != nil || !report.Safe() {
+			return true // identity-with-k2 should be safe, but skip if not
+		}
+		g := workload.NewGenerator(s, rng)
+		g.MaxDepth = 5
+		for i := 0; i < 3; i++ {
+			root, err := g.Root()
+			if err != nil {
+				return false
+			}
+			rw := NewRewriter(s, s, 2, nil)
+			if err := rw.CheckDocument(root, Safe); err != nil {
+				t.Logf("seed %d: schema-safe but instance unsafe: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: validation agrees with a zero-depth safe check on documents that
+// contain no function nodes at all.
+func TestQuickValidationAgreesWithK0(t *testing.T) {
+	f := func(seed int64) bool {
+		s, root, _ := randomInstanceSetup(seed)
+		if root.HasFuncs() {
+			return true
+		}
+		rw := NewRewriter(s, s, 0, nil)
+		checkErr := rw.CheckDocument(root, Safe)
+		valErr := schema.NewContext(s, nil).Validate(root)
+		return (checkErr == nil) == (valErr == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the regex→fork language relation — A_w^0 accepts exactly w.
+func TestQuickForkK0IsWord(t *testing.T) {
+	f := func(seed int64) bool {
+		s, root, _ := randomInstanceSetup(seed)
+		c := Compile(s, s)
+		tokens := TokensOf(c, root)
+		fork, err := BuildFork(c, tokens, 0)
+		if err != nil {
+			return false
+		}
+		word := make([]regex.Symbol, len(tokens))
+		for i, tok := range tokens {
+			word[i] = tok.Sym
+		}
+		if !fork.Accepts(word) {
+			return false
+		}
+		if len(word) > 0 && fork.Accepts(word[1:]) {
+			return false
+		}
+		return fork.NumForks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

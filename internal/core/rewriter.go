@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"axml/internal/doc"
+	"axml/internal/regex"
+	"axml/internal/schema"
+)
+
+// Mode selects the rewriting discipline.
+type Mode uint8
+
+const (
+	// Safe guarantees success before invoking anything (Section 4).
+	Safe Mode = iota
+	// Possible proceeds when success is merely reachable, backtracking on
+	// unlucky returns without un-invoking anything (Section 5).
+	Possible
+	// Mixed pre-invokes cheap side-effect-free calls to shrink the search,
+	// then requires safety for the rest (Section 5, "A Mixed Approach").
+	Mixed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Safe:
+		return "safe"
+	case Possible:
+		return "possible"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// EngineKind selects between the eager Figure 3 analysis and the lazy
+// Section 7 variant for every word-level decision.
+type EngineKind uint8
+
+const (
+	// Eager builds the full reachable product, as in Figure 3.
+	Eager EngineKind = iota
+	// Lazy explores the product on demand with sink/marked pruning.
+	Lazy
+)
+
+// Rewriter drives tree-level rewriting of intensional documents into an
+// exchange schema: the Schema Enforcement module's core (Section 7).
+type Rewriter struct {
+	Compiled *Compiled
+	// K bounds rewriting depth (Definition 7); typical values are 1–3.
+	K int
+	// Engine selects the word-level analysis implementation.
+	Engine EngineKind
+	// Invoker performs service calls; nil Rewriters can only Check.
+	Invoker Invoker
+	// ValidateReturns verifies every returned forest is an output instance
+	// of the invoked function before splicing it (the Schema Enforcement
+	// module's receive-side check). Default true in NewRewriter.
+	ValidateReturns bool
+	// StrictParams makes the rewriting fail when any function node's
+	// parameters cannot be rewritten into its input type (the paper's
+	// behaviour). When false, such functions are frozen instead: they can
+	// still be kept, just never invoked.
+	StrictParams bool
+	// MaxCalls caps total invocations per rewriting as a runaway valve
+	// (recursive services). Default 10000 in NewRewriter.
+	MaxCalls int
+	// PreInvoke guards the Mixed mode's speculative pass; defaults to
+	// "no side effects and zero cost".
+	PreInvoke func(*FuncInfo) bool
+	// Converters optionally restructure non-conforming service results
+	// before the exchange is failed (the paper's "automatic converters"
+	// extension); tried in order, first conforming restructuring wins.
+	Converters Converters
+	// Audit, if set, records every invocation.
+	Audit *Audit
+
+	ctx *schema.Context
+}
+
+// NewRewriter builds a rewriter for the (sender, target) schema pair.
+func NewRewriter(sender, target *schema.Schema, k int, inv Invoker) *Rewriter {
+	c := Compile(sender, target)
+	return &Rewriter{
+		Compiled:        c,
+		K:               k,
+		Invoker:         inv,
+		ValidateReturns: true,
+		StrictParams:    true,
+		MaxCalls:        10000,
+		ctx:             schema.NewContext(target, sender),
+	}
+}
+
+// Context exposes the validation context (target schema with sender-side
+// signatures).
+func (rw *Rewriter) Context() *schema.Context { return rw.ctx }
+
+// wordOK dispatches the word-level verdict for the configured engine.
+func (rw *Rewriter) wordOK(tokens []Token, target *regex.Regex, mode Mode) (bool, error) {
+	switch rw.Engine {
+	case Lazy:
+		var res *LazyResult
+		var err error
+		if mode == Possible {
+			res, err = LazyPossible(rw.Compiled, tokens, target, rw.K)
+		} else {
+			res, err = LazySafe(rw.Compiled, tokens, target, rw.K)
+		}
+		if err != nil {
+			return false, err
+		}
+		return res.Verdict, nil
+	default:
+		if mode == Possible {
+			return WordPossible(rw.Compiled, tokens, target, rw.K)
+		}
+		return WordSafe(rw.Compiled, tokens, target, rw.K)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Static checking (no invocations): can the forest be rewritten at all?
+
+// CheckDocument reports whether the document can be rewritten into the
+// target schema under the given mode, without invoking anything.
+func (rw *Rewriter) CheckDocument(root *doc.Node, mode Mode) error {
+	typ, err := rw.documentType(root)
+	if err != nil {
+		return err
+	}
+	return rw.CheckForest([]*doc.Node{root}, typ, mode)
+}
+
+// documentType returns the expected word type of the document root: the
+// schema's distinguished root label when declared, else the root's own label.
+func (rw *Rewriter) documentType(root *doc.Node) (*regex.Regex, error) {
+	label := rw.Compiled.Target.Root
+	if label == "" {
+		if root.Kind != doc.Element {
+			return nil, &NotSafeError{Msg: "document root is a function node and the target schema declares no root label"}
+		}
+		label = root.Label
+	}
+	if rw.Compiled.Target.Labels[label] == nil {
+		return nil, &NotSafeError{Msg: fmt.Sprintf("root label %q is not declared by the target schema", label)}
+	}
+	return regex.Sym(rw.Compiled.Table.Intern(label)), nil
+}
+
+// CheckForest reports whether the forest can be rewritten into the word type
+// typ (with every subtree an instance of the target schema), statically.
+func (rw *Rewriter) CheckForest(forest []*doc.Node, typ *regex.Regex, mode Mode) error {
+	sc := &staticCheck{rw: rw, mode: mode, paramsOK: map[*doc.Node]bool{}}
+	return sc.forest(forest, typ, nil)
+}
+
+type staticCheck struct {
+	rw       *Rewriter
+	mode     Mode
+	paramsOK map[*doc.Node]bool
+}
+
+// forest checks one forest against a word type: parameters bottom-up, then
+// the root-label word, then each element subtree top-down.
+func (sc *staticCheck) forest(forest []*doc.Node, typ *regex.Regex, path []string) error {
+	for _, tree := range forest {
+		for _, f := range doc.FuncsBottomUp(tree) {
+			ok, err := sc.funcParams(f, path)
+			if err != nil {
+				return err
+			}
+			sc.paramsOK[f] = ok
+		}
+	}
+	tokens := sc.tokens(forest)
+	ok, err := sc.rw.wordOK(tokens, typ, sc.mode)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return &NotSafeError{
+			Path: pathString(path),
+			Msg: fmt.Sprintf("word %v does not %s-rewrite into %s within depth %d",
+				forestLabels(forest), sc.mode, typ.String(sc.rw.Compiled.Table), sc.rw.K),
+		}
+	}
+	for i, tree := range forest {
+		if tree.Kind == doc.Element {
+			if err := sc.element(tree, append(path, fmt.Sprintf("%s[%d]", tree.Label, i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// funcParams decides whether f's parameters can be rewritten into its input
+// type. Inner functions were memoized first (bottom-up order).
+func (sc *staticCheck) funcParams(f *doc.Node, path []string) (bool, error) {
+	if ok, done := sc.paramsOK[f]; done {
+		return ok, nil
+	}
+	fail := func(msg string) (bool, error) {
+		if sc.rw.StrictParams {
+			return false, &NotSafeError{Path: pathString(path), Msg: msg}
+		}
+		return false, nil
+	}
+	c := sc.rw.Compiled
+	in, isData, exists := c.InputType(c.Table.Intern(f.Label))
+	if !exists {
+		return fail(fmt.Sprintf("function %q is not declared by either schema", f.Label))
+	}
+	if isData {
+		if !sc.dataChildrenOK(f.Children) {
+			return fail(fmt.Sprintf("parameters of %q cannot become atomic data", f.Label))
+		}
+		return true, nil
+	}
+	// Rewriting the params must not consult the global failure path: use a
+	// sub-check whose verdict freezes f instead of failing, unless strict.
+	sub := &staticCheck{rw: sc.rw, mode: sc.mode, paramsOK: sc.paramsOK}
+	if err := sub.forest(f.Children, in, append(path, "@"+f.Label)); err != nil {
+		if sc.rw.StrictParams {
+			return false, err
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// dataChildrenOK: a forest collapses to atomic data iff every member is a
+// text node or an invocable function returning atomic data whose own
+// parameters are fine.
+func (sc *staticCheck) dataChildrenOK(children []*doc.Node) bool {
+	c := sc.rw.Compiled
+	for _, ch := range children {
+		switch ch.Kind {
+		case doc.Text:
+			continue
+		case doc.Func:
+			fi := c.Func(c.Table.Intern(ch.Label))
+			if fi == nil || !fi.Invocable || fi.Out != nil || sc.rw.K < 1 {
+				return false
+			}
+			if ok := sc.paramsOK[ch]; !ok {
+				// May not have been computed yet if called outside the
+				// bottom-up sweep; compute on demand.
+				ok2, err := sc.funcParams(ch, nil)
+				if err != nil || !ok2 {
+					return false
+				}
+				sc.paramsOK[ch] = ok2
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// element checks one element subtree top-down.
+func (sc *staticCheck) element(e *doc.Node, path []string) error {
+	c := sc.rw.Compiled
+	content, isData, declared := c.ContentModel(e.Label)
+	if !declared {
+		if sc.rw.ctx.Strict {
+			return &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("element %q is not declared by the target schema", e.Label)}
+		}
+		return nil // wildcard territory: unconstrained
+	}
+	if isData {
+		if !sc.dataChildrenOK(e.Children) {
+			return &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("data element %q contains children that cannot become atomic data", e.Label)}
+		}
+		return nil
+	}
+	// Non-text structural check mirrors validation: stray text is fatal.
+	for _, ch := range e.Children {
+		if ch.Kind == doc.Text && strings.TrimSpace(ch.Value) != "" {
+			return &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("element %q has structured content but contains text", e.Label)}
+		}
+	}
+	tokens := sc.tokens(e.Children)
+	ok, err := sc.rw.wordOK(tokens, content, sc.mode)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return &NotSafeError{
+			Path: pathString(path),
+			Msg: fmt.Sprintf("children %v do not %s-rewrite into %s within depth %d",
+				e.ChildLabels(), sc.mode, content.String(c.Table), sc.rw.K),
+		}
+	}
+	for i, ch := range e.Children {
+		if ch.Kind == doc.Element {
+			if err := sc.element(ch, append(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tokens builds word tokens from a forest, freezing functions whose
+// parameters cannot be fixed and resolving pattern admissibility: a function
+// token is frozen when it cannot be invoked.
+func (sc *staticCheck) tokens(forest []*doc.Node) []Token {
+	c := sc.rw.Compiled
+	out := make([]Token, 0, len(forest))
+	for _, ch := range forest {
+		if ch.Kind == doc.Text {
+			continue
+		}
+		tok := Token{Sym: c.Table.Intern(ch.Label), Node: ch}
+		if ch.Kind == doc.Func {
+			if ok := sc.paramsOK[ch]; !ok {
+				tok.Frozen = true
+			}
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+func pathString(path []string) string {
+	if len(path) == 0 {
+		return ""
+	}
+	return "/" + strings.Join(path, "/")
+}
+
+func forestLabels(forest []*doc.Node) []string {
+	out := make([]string, 0, len(forest))
+	for _, n := range forest {
+		if n.Kind != doc.Text {
+			out = append(out, n.Label)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"axml/internal/doc"
+	"axml/internal/schema"
+	"axml/internal/workload"
+)
+
+// Robustness sweeps: the executor must never panic or corrupt documents, no
+// matter how workloads, modes and failure injections combine.
+
+// flakyInvoker wraps a simulated invoker with injected failures.
+type flakyInvoker struct {
+	inner *workload.SimInvoker
+	rng   *rand.Rand
+	// failEvery injects an error on every n-th call (0 = never).
+	failEvery int
+	// garbageEvery returns a non-conforming forest on every n-th call.
+	garbageEvery int
+	calls        int
+}
+
+var errInjected = errors.New("injected service failure")
+
+func (f *flakyInvoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
+	f.calls++
+	if f.failEvery > 0 && f.calls%f.failEvery == 0 {
+		return nil, errInjected
+	}
+	if f.garbageEvery > 0 && f.calls%f.garbageEvery == 0 {
+		return []*doc.Node{doc.Elem("garbage-element-nobody-declared")}, nil
+	}
+	return f.inner.Invoke(call)
+}
+
+// Property: rewriting random instances under every mode either succeeds with
+// a valid document or fails with an error — never panics, and safe-mode
+// failures only happen under injected faults.
+func TestQuickExecutorRobustness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := workload.RandomSchema(rng, workload.Options{Labels: 4, Funcs: 3})
+		g := workload.NewGenerator(s, rng)
+		g.MaxDepth = 5
+		root, err := g.Root()
+		if err != nil {
+			return true
+		}
+		for _, mode := range []Mode{Safe, Possible, Mixed} {
+			for _, inject := range []struct{ fail, garbage int }{
+				{0, 0}, {2, 0}, {0, 2},
+			} {
+				inv := &flakyInvoker{
+					inner:        workload.NewSimInvoker(s, rand.New(rand.NewSource(seed+1))),
+					rng:          rng,
+					failEvery:    inject.fail,
+					garbageEvery: inject.garbage,
+				}
+				rw := NewRewriter(s, s, 2, inv)
+				rw.Audit = &Audit{}
+				rw.MaxCalls = 200
+				out, err := rw.RewriteDocument(root.Clone(), mode)
+				if err != nil {
+					continue // failure is acceptable; panics are not
+				}
+				if err := schema.NewContext(s, nil).Validate(out); err != nil {
+					t.Logf("seed %d mode %v inject %+v: invalid result: %v", seed, mode, inject, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a clean safe-mode run (no injection) never fails once the static
+// check passes, and never exceeds the fork-depth bound in its audit.
+func TestQuickSafeDepthBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := workload.RandomSchema(rng, workload.Options{Labels: 4, Funcs: 3})
+		g := workload.NewGenerator(s, rng)
+		g.MaxDepth = 5
+		root, err := g.Root()
+		if err != nil {
+			return true
+		}
+		k := 1 + rng.Intn(2)
+		rw := NewRewriter(s, s, k, workload.NewSimInvoker(s, rand.New(rand.NewSource(seed+7))))
+		rw.Audit = &Audit{}
+		if err := rw.CheckDocument(root, Safe); err != nil {
+			return true
+		}
+		if _, err := rw.RewriteDocument(root.Clone(), Safe); err != nil {
+			t.Logf("seed %d: statically safe but execution failed: %v", seed, err)
+			return false
+		}
+		for _, c := range rw.Audit.Calls() {
+			if c.Depth > k {
+				t.Logf("seed %d: call %s at depth %d exceeds k=%d", seed, c.Func, c.Depth, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGarbageReturnsFailSafely: with garbage injected on the first call, a
+// safe rewriting fails with the non-conforming error and the document given
+// to the caller is never half-written (RewriteDocument returns nil).
+func TestGarbageReturnsFailSafely(t *testing.T) {
+	s := schema.MustParseText(`
+root page
+elem page = temp
+elem temp = data
+elem city = data
+func Get_Temp = city -> temp
+`, nil)
+	inv := &flakyInvoker{
+		inner:        workload.NewSimInvoker(s, rand.New(rand.NewSource(1))),
+		garbageEvery: 1,
+	}
+	rw := NewRewriter(s, s, 1, inv)
+	root := doc.Elem("page", doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("x"))))
+	out, err := rw.RewriteDocument(root, Safe)
+	if err == nil {
+		t.Fatalf("garbage should fail, got %v", out)
+	}
+	if out != nil {
+		t.Error("failed rewriting should not return a document")
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"axml/internal/automata"
+	"axml/internal/regex"
+)
+
+// ProdEdge is one option inside a Group: a move to a product state, possibly
+// representing the invocation of a function.
+type ProdEdge struct {
+	To       int
+	ViaCall  bool
+	FuncSym  regex.Symbol
+	TokenIdx int
+	// Sym is the symbol consumed by word edges (NoSymbol for ε moves); kept
+	// for plan tracing and debugging output.
+	Sym regex.Symbol
+}
+
+// Group is one choice point of the marking game. A fork group carries the
+// two options of Figure 3 — keep the function occurrence or invoke it — and
+// is "lost" only when *both* options lead to marked states. Every other
+// group is an adversarial singleton (the automaton/nondeterminism moves by
+// itself) and is lost as soon as its single target is marked.
+type Group struct {
+	Fork     bool
+	FuncSym  regex.Symbol
+	TokenIdx int
+	Options  []ProdEdge
+}
+
+// SafeAnalysis is the marked product A_× = A_w^k × Ā of Figure 3.
+type SafeAnalysis struct {
+	Fork   *Fork
+	Compl  *automata.DFA
+	Target *regex.Regex
+
+	// QState / PState give the A_w^k state and Ā state of each product
+	// state; Groups lists its choice structure; Marked is the fixpoint of
+	// steps 15–17.
+	QState  []int
+	PState  []automata.State
+	Groups  [][]Group
+	Marked  []bool
+	Initial int
+
+	// Accepting marks the seed states (q accepting in A_w^k and p accepting
+	// in Ā): words that escaped the target language.
+	Accepting []bool
+}
+
+// Safe reports the verdict: a k-depth left-to-right safe rewriting exists
+// iff the initial state is unmarked (step 18).
+func (a *SafeAnalysis) Safe() bool { return !a.Marked[a.Initial] }
+
+// NumProdStates returns how many product states were constructed — the
+// quantity the lazy-vs-eager experiment compares.
+func (a *SafeAnalysis) NumProdStates() int { return len(a.QState) }
+
+// NumProdEdges returns the number of product options constructed.
+func (a *SafeAnalysis) NumProdEdges() int {
+	n := 0
+	for _, gs := range a.Groups {
+		for _, g := range gs {
+			n += len(g.Options)
+		}
+	}
+	return n
+}
+
+// AnalyzeSafe runs the full (eager) Figure 3 algorithm at the word level:
+// build A_w^k for the tokens, build the complete complement Ā of the
+// (pattern-expanded) target content model, build their product, and mark it.
+// extraAlphabet extends the effective alphabet with symbols the caller knows
+// about beyond the two schemas (e.g. labels that only occur in documents).
+func AnalyzeSafe(c *Compiled, tokens []Token, target *regex.Regex, k int, extraAlphabet []regex.Symbol) (*SafeAnalysis, error) {
+	fork, err := BuildFork(c, tokens, k)
+	if err != nil {
+		return nil, err
+	}
+	expanded := c.ExpandPatterns(target)
+	compl := automata.ComplementOfRegex(expanded, alphabetFor(c, tokens, extraAlphabet))
+	a := buildProduct(fork, compl, expanded)
+	a.mark()
+	return a, nil
+}
+
+func alphabetFor(c *Compiled, tokens []Token, extra []regex.Symbol) []regex.Symbol {
+	sigma := append([]regex.Symbol(nil), c.Alphabet()...)
+	for _, t := range tokens {
+		sigma = append(sigma, t.Sym)
+	}
+	sigma = append(sigma, extra...)
+	sort.Slice(sigma, func(i, j int) bool { return sigma[i] < sigma[j] })
+	return dedup(sigma)
+}
+
+type prodKey struct {
+	q int
+	p automata.State
+}
+
+// buildProduct constructs the reachable part of A_w^k × Ā with the fork
+// structure reflected onto product states (steps 11–14 of Figure 3).
+func buildProduct(fork *Fork, compl *automata.DFA, target *regex.Regex) *SafeAnalysis {
+	a := &SafeAnalysis{Fork: fork, Compl: compl, Target: target}
+	index := map[prodKey]int{}
+	intern := func(q int, p automata.State) (int, bool) {
+		k := prodKey{q, p}
+		if s, ok := index[k]; ok {
+			return s, false
+		}
+		s := len(a.QState)
+		index[k] = s
+		a.QState = append(a.QState, q)
+		a.PState = append(a.PState, p)
+		a.Groups = append(a.Groups, nil)
+		a.Accepting = append(a.Accepting, fork.Accept[q] && compl.Accept[p])
+		return s, true
+	}
+	start, _ := intern(0, compl.Start)
+	a.Initial = start
+	work := []int{start}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		q, p := a.QState[s], a.PState[s]
+		groups := a.expandState(q, p, intern, &work)
+		a.Groups[s] = groups
+	}
+	return a
+}
+
+// expandState computes the groups of product state (q, p), interning
+// successor states as needed.
+func (a *SafeAnalysis) expandState(q int, p automata.State, intern func(int, automata.State) (int, bool), work *[]int) []Group {
+	fork, compl := a.Fork, a.Compl
+	var groups []Group
+	push := func(to int, fresh bool) {
+		if fresh {
+			*work = append(*work, to)
+		}
+	}
+	edges := fork.Edges[q]
+	for _, e := range edges {
+		switch {
+		case e.IsCall:
+			// Handled as the call option of its keep edge's group.
+		case e.Eps:
+			to, fresh := intern(e.To, p)
+			push(to, fresh)
+			groups = append(groups, Group{Options: []ProdEdge{{To: to, Sym: regex.NoSymbol}}})
+		case e.Partner >= 0:
+			// A fork: keep consumes the function symbol; call ε-moves into
+			// the attached output copy without advancing Ā.
+			f := e.FuncSym
+			keepTo, fresh := intern(e.To, compl.Step(p, f))
+			push(keepTo, fresh)
+			call := edges[e.Partner]
+			callTo, fresh2 := intern(call.To, p)
+			push(callTo, fresh2)
+			groups = append(groups, Group{
+				Fork:     true,
+				FuncSym:  f,
+				TokenIdx: e.TokenIdx,
+				Options: []ProdEdge{
+					{To: keepTo, FuncSym: f, TokenIdx: e.TokenIdx, Sym: f},
+					{To: callTo, ViaCall: true, FuncSym: f, TokenIdx: e.TokenIdx, Sym: regex.NoSymbol},
+				},
+			})
+		default:
+			// Plain word edge: expand its class over the complement's
+			// alphabet (plus the uniform "other" column for wildcards);
+			// every concrete symbol is an adversarial singleton group.
+			for _, opt := range a.classOptions(e, p, intern, push) {
+				groups = append(groups, Group{Options: []ProdEdge{opt}})
+			}
+		}
+	}
+	return groups
+}
+
+func (a *SafeAnalysis) classOptions(e ForkEdge, p automata.State, intern func(int, automata.State) (int, bool), push func(int, bool)) []ProdEdge {
+	compl := a.Compl
+	var opts []ProdEdge
+	if !e.Cls.Negated {
+		for _, x := range e.Cls.Syms {
+			to, fresh := intern(e.To, compl.Step(p, x))
+			push(to, fresh)
+			opts = append(opts, ProdEdge{To: to, FuncSym: e.FuncSym, TokenIdx: e.TokenIdx, Sym: x})
+		}
+		return opts
+	}
+	// Wildcard: one option per alphabet symbol the class admits, plus the
+	// "other" column standing for all remaining symbols uniformly.
+	for _, x := range compl.Alphabet {
+		if !e.Cls.Contains(x) {
+			continue
+		}
+		to, fresh := intern(e.To, compl.Step(p, x))
+		push(to, fresh)
+		opts = append(opts, ProdEdge{To: to, TokenIdx: e.TokenIdx, Sym: x, FuncSym: regex.NoSymbol})
+	}
+	other := compl.Trans[p][len(compl.Alphabet)]
+	to, fresh := intern(e.To, other)
+	push(to, fresh)
+	opts = append(opts, ProdEdge{To: to, TokenIdx: e.TokenIdx, Sym: regex.NoSymbol, FuncSym: regex.NoSymbol})
+	return opts
+}
+
+// mark runs steps 15–17: seed with accepting product states, then propagate
+// backward — a state is marked when some group has *all* options marked
+// (for singletons: its only option; for forks: both keep and call).
+func (a *SafeAnalysis) mark() {
+	n := len(a.QState)
+	a.Marked = make([]bool, n)
+
+	// remaining[s][g]: unmarked options left in group g of state s.
+	remaining := make([][]int, n)
+	type dep struct{ s, g int }
+	incoming := map[int][]dep{}
+	for s := 0; s < n; s++ {
+		remaining[s] = make([]int, len(a.Groups[s]))
+		for g, grp := range a.Groups[s] {
+			remaining[s][g] = len(grp.Options)
+			for _, o := range grp.Options {
+				incoming[o.To] = append(incoming[o.To], dep{s, g})
+			}
+		}
+	}
+	var queue []int
+	enqueue := func(s int) {
+		if !a.Marked[s] {
+			a.Marked[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for s := 0; s < n; s++ {
+		if a.Accepting[s] {
+			enqueue(s)
+		}
+	}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, d := range incoming[t] {
+			remaining[d.s][d.g]--
+			if remaining[d.s][d.g] == 0 {
+				enqueue(d.s)
+			}
+		}
+	}
+	// Note: a state whose marked option sits in a group alongside other
+	// options decrements only once per (state, group, target) edge; if the
+	// same target appears twice in one group both decrements happen, which
+	// is correct because remaining counts options, not distinct targets.
+}
+
+// WordSafe is the convenience entry point: does the token word safely
+// rewrite into target within k-depth?
+func WordSafe(c *Compiled, tokens []Token, target *regex.Regex, k int) (bool, error) {
+	a, err := AnalyzeSafe(c, tokens, target, k, nil)
+	if err != nil {
+		return false, err
+	}
+	return a.Safe(), nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tables must reproduce the paper's qualitative shape: the
+// absolute numbers are machine-dependent, but who wins and where the
+// crossovers fall must hold on every run.
+
+func TestFiguresVerdicts(t *testing.T) {
+	tbl := Figures()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	if byName["Fig6 safe into (**)"][2] != "safe" {
+		t.Error("Figure 6 must be safe")
+	}
+	if byName["Fig8 safe into (***)"][2] != "unsafe" {
+		t.Error("Figure 8 must be unsafe")
+	}
+	if byName["Fig11 possible into (***)"][2] != "possible" {
+		t.Error("Figure 11 must be possible")
+	}
+}
+
+func TestComplementBlowupShape(t *testing.T) {
+	tbl := ComplementBlowup([]int{4, 8}, 1)
+	// Non-deterministic complement states must grow ~2^n while deterministic
+	// stays linear: at n=8 the gap must exceed an order of magnitude.
+	row := tbl.Rows[1]
+	det, nondet := atoi(t, row[1]), atoi(t, row[3])
+	if nondet < det*10 {
+		t.Errorf("expected exponential gap, det=%d nondet=%d", det, nondet)
+	}
+	// Deterministic grows linearly with n.
+	det4 := atoi(t, tbl.Rows[0][1])
+	if det > det4*4 {
+		t.Errorf("deterministic complement grew superlinearly: %d -> %d", det4, det)
+	}
+}
+
+func TestLazyPruningShape(t *testing.T) {
+	tbl := LazyPruning(3)
+	for _, row := range tbl.Rows {
+		eager, lazy := atoi(t, row[2]), atoi(t, row[3])
+		if lazy > eager {
+			t.Errorf("%s: lazy explored more states (%d) than eager built (%d)", row[0], lazy, eager)
+		}
+	}
+}
+
+func TestMixedBenefitShape(t *testing.T) {
+	tbl := MixedBenefit([]int{8}, 1)
+	row := tbl.Rows[0]
+	before, after := atoi(t, row[1]), atoi(t, row[3])
+	if after >= before {
+		t.Errorf("pre-invocation should shrink the analysis: before=%d after=%d", before, after)
+	}
+}
+
+func TestSafeScalingMonotone(t *testing.T) {
+	tbl := SafeScaling([]int{4, 16}, []int{1}, 1)
+	small, large := atoi(t, tbl.Rows[0][3]), atoi(t, tbl.Rows[1][3])
+	if large <= small {
+		t.Errorf("product states should grow with n: %d -> %d", small, large)
+	}
+	// Polynomial, not exponential: 4x the schema should stay well under
+	// 100x the states.
+	if large > small*100 {
+		t.Errorf("suspicious growth for deterministic schemas: %d -> %d", small, large)
+	}
+}
+
+func TestSchemaRewriteVerdicts(t *testing.T) {
+	tbl := SchemaRewrite(nil, 1)
+	want := map[string]string{
+		"(*) -> (*)":   "safe",
+		"(*) -> (**)":  "safe",
+		"(*) -> (***)": "unsafe",
+	}
+	for _, row := range tbl.Rows {
+		if w, ok := want[row[0]]; ok && row[2] != w {
+			t.Errorf("%s: verdict %s want %s", row[0], row[2], w)
+		}
+	}
+}
+
+func TestKDepthGrowthShape(t *testing.T) {
+	tbl := KDepthGrowth([]int{1, 3})
+	// With k=1 the handle returned by the first call cannot be chased.
+	if tbl.Rows[0][3] == "false" {
+		// The simulated handle may dry up immediately; both outcomes are
+		// legal, but calls must stay within the k bound.
+		if atoi(t, tbl.Rows[0][1]) > 1 {
+			t.Errorf("k=1 made %s calls", tbl.Rows[0][1])
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	var b strings.Builder
+	Figures().Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"figures", "verdict", "Fig6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	tables := All()
+	if len(tables) != 9 {
+		t.Fatalf("experiments = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		if tbl.ID == "" || len(tbl.Rows) == 0 {
+			t.Errorf("table %q is empty", tbl.ID)
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

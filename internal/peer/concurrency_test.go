@@ -1,0 +1,138 @@
+package peer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+	"axml/internal/schema"
+)
+
+// TestRepositoryConcurrentAccess hammers the repository from many
+// goroutines; run with -race.
+func TestRepositoryConcurrentAccess(t *testing.T) {
+	r := NewRepository()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc%d", i%4)
+			for j := 0; j < 100; j++ {
+				r.Put(name, doc.Elem("a", doc.TextNode(fmt.Sprint(j))))
+				if d, ok := r.Get(name); ok && d.Label != "a" {
+					t.Errorf("corrupted read: %v", d)
+					return
+				}
+				_ = r.Names()
+				_ = r.Len()
+				if j%10 == 0 {
+					_ = r.Update(name, func(n *doc.Node) (*doc.Node, error) { return n, nil })
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() == 0 {
+		t.Error("repository empty after concurrent writes")
+	}
+}
+
+// TestConcurrentEnforcement runs many SendDocument calls in parallel over
+// one peer, sharing the audit; run with -race.
+func TestConcurrentEnforcement(t *testing.T) {
+	p := newsPeer(t)
+	exch, err := schema.ParseTextShared(schema.NewShared(p.Schema.Table), strings.Replace(newspaperSchema,
+		"elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+		"elem newspaper = title.date.temp.(TimeOut|exhibit*)", 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				out, err := p.SendDocument("today", exch, core.Safe)
+				if err != nil {
+					t.Errorf("concurrent send failed: %v", err)
+					return
+				}
+				if out.ChildLabels()[2] != "temp" {
+					t.Error("concurrent send produced wrong document")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Audit.Len(); got != 8*20 {
+		t.Errorf("audit = %d calls, want 160", got)
+	}
+}
+
+// TestConcurrentHTTPExchange hits /exchange from many clients at once; every
+// request parses a fresh exchange schema into the peer's shared symbol
+// table, exercising concurrent interning. Run with -race.
+func TestConcurrentHTTPExchange(t *testing.T) {
+	p := newsPeer(t)
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	// Each client uses a distinct extra element name so fresh symbols are
+	// actually interned concurrently.
+	xsdFor := func(i int) string {
+		return fmt.Sprintf(`
+<schema root="newspaper">
+  <element name="newspaper"><complexType><sequence>
+    <element ref="title"/><element ref="date"/><element ref="temp"/>
+    <choice><function ref="TimeOut"/><element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/></choice>
+    <element ref="extra%d" minOccurs="0"/>
+  </sequence></complexType></element>
+  <element name="title" type="xs:string"/>
+  <element name="date" type="xs:string"/>
+  <element name="temp" type="xs:string"/>
+  <element name="city" type="xs:string"/>
+  <element name="extra%d" type="xs:string"/>
+  <element name="exhibit"><complexType><sequence>
+    <element ref="title"/><element ref="date"/>
+  </sequence></complexType></element>
+  <element name="performance" type="xs:string"/>
+  <function id="Get_Temp"><params><param><element ref="city"/></param></params>
+    <return><element ref="temp"/></return></function>
+  <function id="TimeOut">
+    <return><choice minOccurs="0" maxOccurs="unbounded">
+      <element ref="exhibit"/><element ref="performance"/>
+    </choice></return></function>
+</schema>`, i, i)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := http.Post(ts.URL+"/exchange/today?mode=safe", "text/xml",
+					strings.NewReader(xsdFor(i*100+j)))
+				if err != nil {
+					t.Errorf("exchange: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

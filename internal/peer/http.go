@@ -1,0 +1,102 @@
+package peer
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"axml/internal/core"
+	"axml/internal/soap"
+	"axml/internal/wsdl"
+	"axml/internal/xmlio"
+	"axml/internal/xsdint"
+)
+
+// Handler exposes the peer over HTTP:
+//
+//	POST /soap             — SOAP endpoint for the peer's operations, with
+//	                         schema enforcement on parameters and results
+//	GET  /wsdl             — the peer's WSDL_int description
+//	GET  /doc/{name}       — a repository document, as stored (intensional)
+//	POST /exchange/{name}  — the Figure 1 scenario: the request body is an
+//	                         XML Schema_int exchange schema; the response is
+//	                         the document rewritten to conform to it.
+//	                         ?mode=safe|possible|mixed (default: the peer's)
+func (p *Peer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/soap", &soap.Server{
+		Registry:   p.Services,
+		Namespace:  "urn:axml:" + p.Name,
+		OnRequest:  p.EnforceIn,
+		OnResponse: p.EnforceOut,
+	})
+	mux.HandleFunc("/wsdl", p.handleWSDL)
+	mux.HandleFunc("/doc/", p.handleDoc)
+	mux.HandleFunc("/exchange/", p.handleExchange)
+	return mux
+}
+
+func (p *Peer) handleWSDL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	if err := wsdl.Write(w, p.Description(), nil); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/doc/")
+	d, ok := p.Repo.Get(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no document %q", name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_ = xmlio.Write(w, d)
+}
+
+func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/exchange/")
+	mode := p.Mode
+	switch r.URL.Query().Get("mode") {
+	case "safe":
+		mode = core.Safe
+	case "possible":
+		mode = core.Possible
+	case "mixed":
+		mode = core.Mixed
+	case "":
+	default:
+		http.Error(w, "mode must be safe, possible or mixed", http.StatusBadRequest)
+		return
+	}
+	// The exchange schema interns into the peer's table so that the
+	// rewriter can relate the two schemas.
+	exchange, err := xsdint.Parse(r.Body, xsdint.Options{Table: p.Schema.Table})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, err := p.SendDocument(name, exchange, mode)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if strings.Contains(err.Error(), "no document") {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_ = xmlio.Write(w, out)
+}

@@ -1,0 +1,91 @@
+package peer
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/schema"
+)
+
+func negotiationProposals(t *testing.T, p *Peer) []Proposal {
+	t.Helper()
+	mk := func(name, model string) Proposal {
+		s, err := schema.ParseTextShared(schema.NewShared(p.Schema.Table), strings.Replace(newspaperSchema,
+			"elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+			"elem newspaper = "+model, 1), nil)
+		must(t, err)
+		return Proposal{Name: name, Schema: s}
+	}
+	return []Proposal{
+		mk("strict", "title.date.temp.exhibit*"),                           // (***): only possible
+		mk("relaxed", "title.date.temp.(TimeOut|exhibit*)"),                // (**): safe with one call
+		mk("intensional", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)"), // (*): as-is
+	}
+}
+
+func TestNegotiatePrefersAsIs(t *testing.T) {
+	p := newsPeer(t)
+	props := negotiationProposals(t, p)
+	agreement, err := p.Negotiate("today", props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement.Proposal.Name != "intensional" || !agreement.AsIs {
+		t.Errorf("agreement = %+v, want as-is intensional", agreement)
+	}
+}
+
+func TestNegotiateFallsBackToSafe(t *testing.T) {
+	p := newsPeer(t)
+	props := negotiationProposals(t, p)[:2] // drop the as-is candidate
+	agreement, err := p.Negotiate("today", props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement.Proposal.Name != "relaxed" || agreement.Mode != core.Safe || agreement.AsIs {
+		t.Errorf("agreement = %+v, want safe relaxed", agreement)
+	}
+}
+
+func TestNegotiateFallsBackToPossible(t *testing.T) {
+	p := newsPeer(t)
+	props := negotiationProposals(t, p)[:1] // only the strict candidate
+	agreement, err := p.Negotiate("today", props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement.Proposal.Name != "strict" || agreement.Mode != core.Possible {
+		t.Errorf("agreement = %+v, want possible strict", agreement)
+	}
+}
+
+func TestNegotiateFailure(t *testing.T) {
+	p := newsPeer(t)
+	hopeless, err := schema.ParseTextShared(schema.NewShared(p.Schema.Table), strings.Replace(newspaperSchema,
+		"elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+		"elem newspaper = title.title", 1), nil)
+	must(t, err)
+	if _, err := p.Negotiate("today", []Proposal{{Name: "hopeless", Schema: hopeless}}); err == nil {
+		t.Error("hopeless negotiation should fail")
+	}
+	if _, err := p.Negotiate("ghost", nil); err == nil {
+		t.Error("negotiation over a missing document should fail")
+	}
+}
+
+func TestNegotiateSchemas(t *testing.T) {
+	p := newsPeer(t)
+	props := negotiationProposals(t, p)
+	agreement, err := p.NegotiateSchemas(props, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "strict" fails Definition 6, "relaxed" passes for every instance.
+	if agreement.Proposal.Name != "relaxed" {
+		t.Errorf("agreement = %+v, want relaxed", agreement)
+	}
+	if _, err := p.NegotiateSchemas(props[:1], 1); err == nil {
+		t.Error("strict-only schema negotiation should fail")
+	}
+}

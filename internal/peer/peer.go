@@ -1,0 +1,275 @@
+package peer
+
+import (
+	"fmt"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+	"axml/internal/regex"
+	"axml/internal/schema"
+	"axml/internal/service"
+	"axml/internal/soap"
+	"axml/internal/wsdl"
+)
+
+// Peer is one Active XML node: repository + services + enforcement.
+type Peer struct {
+	Name string
+	// Schema is the peer's own schema s0: its document types and the WSDL_int
+	// signatures of every function its documents embed or its registry
+	// provides.
+	Schema *schema.Schema
+	// Repo stores the peer's intensional documents.
+	Repo *Repository
+	// Services are the operations this peer provides.
+	Services *service.Registry
+	// K is the rewriting depth bound used by enforcement.
+	K int
+	// Mode is the default rewriting discipline for enforcement (Safe).
+	Mode core.Mode
+	// Remote performs outbound calls for function nodes this peer does not
+	// implement locally (typically a soap.Invoker). May be nil.
+	Remote core.Invoker
+	// Endpoint is this peer's public SOAP address, advertised in WSDL_int.
+	Endpoint string
+	// Audit records every invocation made by enforcement rewritings.
+	Audit *core.Audit
+}
+
+// New creates a peer over the given schema.
+func New(name string, s *schema.Schema) *Peer {
+	return &Peer{
+		Name:     name,
+		Schema:   s,
+		Repo:     NewRepository(),
+		Services: service.NewRegistry(),
+		K:        2,
+		Mode:     core.Safe,
+		Audit:    &core.Audit{},
+	}
+}
+
+// Invoker resolves function nodes: locally registered operations first, then
+// the remote transport.
+func (p *Peer) Invoker() core.Invoker {
+	if p.Remote == nil {
+		return p.Services
+	}
+	return service.Chain{p.Services, p.Remote}
+}
+
+// rewriter builds an enforcement rewriter against a target schema (which
+// must share the peer schema's symbol table).
+func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
+	rw := core.NewRewriter(p.Schema, target, p.K, p.Invoker())
+	rw.Audit = p.Audit
+	return rw
+}
+
+// SendDocument is the paper's Figure 1 scenario: materialize the named
+// repository document just enough to conform to the receiver's exchange
+// schema, and return the result. The repository copy is left untouched —
+// the same document can be sent to differently-abled receivers.
+func (p *Peer) SendDocument(name string, exchange *schema.Schema, mode core.Mode) (*doc.Node, error) {
+	d, ok := p.Repo.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("peer %s: no document %q", p.Name, name)
+	}
+	rw := p.rewriter(exchange)
+	out, err := rw.RewriteDocument(d, mode)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: sending %q: %w", p.Name, name, err)
+	}
+	return out, nil
+}
+
+// Materialize rewrites a repository document in place against the peer's own
+// schema — the "active" enrichment feature.
+func (p *Peer) Materialize(name string, mode core.Mode) error {
+	return p.Repo.Update(name, func(d *doc.Node) (*doc.Node, error) {
+		rw := p.rewriter(p.Schema)
+		return rw.RewriteDocument(d.Clone(), mode)
+	})
+}
+
+// EnforceIn implements the receive-side of the Schema Enforcement module:
+// incoming parameters must be (or be rewritten into) an input instance of
+// the operation's declared signature.
+func (p *Peer) EnforceIn(method string, params []*doc.Node) ([]*doc.Node, error) {
+	typ, isData, ok := p.inputType(method)
+	if !ok {
+		return nil, fmt.Errorf("peer %s: operation %q is not declared", p.Name, method)
+	}
+	ctx := schema.NewContext(p.Schema, nil)
+	if err := ctx.IsInputInstance(method, params); err == nil {
+		return params, nil // (i) conforms as-is
+	}
+	if isData {
+		return nil, fmt.Errorf("peer %s: %q expects atomic data parameters", p.Name, method)
+	}
+	rw := p.rewriter(p.Schema)
+	out, err := rw.RewriteForest(params, typ, p.Mode) // (ii) try to rewrite
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: parameters of %q: %w", p.Name, method, err) // (iii) report
+	}
+	return out, nil
+}
+
+// EnforceOut is the send-side: results must conform to the declared output
+// type before leaving the peer.
+func (p *Peer) EnforceOut(method string, result []*doc.Node) ([]*doc.Node, error) {
+	def := p.Schema.Funcs[method]
+	if def == nil {
+		return nil, fmt.Errorf("peer %s: operation %q is not declared", p.Name, method)
+	}
+	ctx := schema.NewContext(p.Schema, nil)
+	if err := ctx.IsOutputInstance(method, result); err == nil {
+		return result, nil
+	}
+	if def.Out == nil {
+		return nil, fmt.Errorf("peer %s: %q must return atomic data", p.Name, method)
+	}
+	rw := p.rewriter(p.Schema)
+	out, err := rw.RewriteForest(result, def.Out, p.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: result of %q: %w", p.Name, method, err)
+	}
+	return out, nil
+}
+
+func (p *Peer) inputType(method string) (r *regex.Regex, isData, ok bool) {
+	def := p.Schema.Funcs[method]
+	if def == nil {
+		return nil, false, false
+	}
+	if def.In == nil {
+		return nil, true, true
+	}
+	return def.In, false, true
+}
+
+// Call invokes an operation on a remote peer with client-side enforcement:
+// the parameters are first rewritten into the remote's declared input type
+// (materializing whatever the remote should not or cannot evaluate), and the
+// result is validated against the declared output type.
+func (p *Peer) Call(desc *wsdl.Description, method string, params []*doc.Node, mode core.Mode) ([]*doc.Node, error) {
+	def := desc.Schema.Funcs[method]
+	if def == nil {
+		return nil, fmt.Errorf("peer %s: %q is not an operation of service %q", p.Name, method, desc.Name)
+	}
+	if desc.Schema.Table != p.Schema.Table {
+		return nil, fmt.Errorf("peer %s: remote description must be parsed with this peer's symbol table", p.Name)
+	}
+	if def.In != nil {
+		rw := core.NewRewriter(p.Schema, desc.Schema, p.K, p.Invoker())
+		rw.Audit = p.Audit
+		out, err := rw.RewriteForest(params, def.In, mode)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: parameters for %s.%s: %w", p.Name, desc.Name, method, err)
+		}
+		params = out
+	}
+	endpoint := def.Endpoint
+	if endpoint == "" {
+		endpoint = desc.Endpoint
+	}
+	client := &soap.Client{Endpoint: endpoint, Namespace: desc.TargetNamespace}
+	result, err := client.Call(method, params)
+	if err != nil {
+		return nil, err
+	}
+	ctx := schema.NewContext(desc.Schema, p.Schema)
+	if err := ctx.IsOutputInstance(method, result); err != nil {
+		return nil, fmt.Errorf("peer %s: %s.%s returned non-conforming data: %w", p.Name, desc.Name, method, err)
+	}
+	return result, nil
+}
+
+// Description builds this peer's WSDL_int description.
+func (p *Peer) Description() *wsdl.Description {
+	return &wsdl.Description{
+		Name:            p.Name,
+		TargetNamespace: "urn:axml:" + p.Name,
+		Endpoint:        p.Endpoint,
+		Schema:          p.Schema,
+	}
+}
+
+// Query is a declarative service body: it selects subtrees of a repository
+// document by a label path, optionally filtered on the text value of a
+// child element matched against the call's first (atomic) parameter.
+type Query struct {
+	// Doc names the repository document.
+	Doc string
+	// Path walks child labels from the root (the root's own label is not
+	// part of the path). Empty selects the root itself.
+	Path []string
+	// Where, when set, keeps only subtrees having a child with this label
+	// whose text equals the first parameter.
+	Where string
+}
+
+// DefineQueryService declares and registers a service whose implementation
+// evaluates a query over the repository — the paper's "services defined
+// declaratively as queries over the repository documents".
+func (p *Peer) DefineQueryService(name, in, out string, q Query) error {
+	if p.Schema.Funcs[name] == nil {
+		if err := p.Schema.SetFunc(name, in, out); err != nil {
+			return err
+		}
+	}
+	def := p.Schema.Funcs[name]
+	handler := func(params []*doc.Node) ([]*doc.Node, error) {
+		root, ok := p.Repo.Get(q.Doc)
+		if !ok {
+			return nil, fmt.Errorf("peer %s: query service %q: no document %q", p.Name, name, q.Doc)
+		}
+		nodes := []*doc.Node{root}
+		for _, label := range q.Path {
+			var next []*doc.Node
+			for _, n := range nodes {
+				for _, ch := range n.Children {
+					if ch.Kind != doc.Text && ch.Label == label {
+						next = append(next, ch)
+					}
+				}
+			}
+			nodes = next
+		}
+		if q.Where != "" {
+			want := firstText(params)
+			var filtered []*doc.Node
+			for _, n := range nodes {
+				if childText(n, q.Where) == want {
+					filtered = append(filtered, n)
+				}
+			}
+			nodes = filtered
+		}
+		return nodes, nil
+	}
+	return p.Services.Register(&service.Operation{Name: name, Def: def, Handler: handler})
+}
+
+func firstText(params []*doc.Node) string {
+	for _, n := range params {
+		if n.Kind == doc.Text {
+			return n.Value
+		}
+		if len(n.Children) == 1 && n.Children[0].Kind == doc.Text {
+			return n.Children[0].Value
+		}
+	}
+	return ""
+}
+
+func childText(n *doc.Node, label string) string {
+	for _, ch := range n.Children {
+		if ch.Kind != doc.Text && ch.Label == label {
+			if len(ch.Children) == 1 && ch.Children[0].Kind == doc.Text {
+				return ch.Children[0].Value
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,136 @@
+// Package peer implements an Active XML peer (Section 7 of the paper): a
+// repository of intensional documents, services defined over the repository,
+// SOAP exchange with other peers, and the *Schema Enforcement* module, which
+// applies the safe/possible/mixed rewriting algorithms of internal/core to
+// every document sent, every parameter list received, and every result
+// returned.
+package peer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"axml/internal/doc"
+	"axml/internal/xmlio"
+)
+
+// Repository stores named intensional documents. It is safe for concurrent
+// use; documents are cloned on the way in and out so that callers can never
+// mutate stored state behind the lock.
+type Repository struct {
+	mu   sync.RWMutex
+	docs map[string]*doc.Node
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{docs: make(map[string]*doc.Node)}
+}
+
+// Put stores a document under a name (cloned).
+func (r *Repository) Put(name string, d *doc.Node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.docs[name] = d.Clone()
+}
+
+// Get returns a clone of the named document.
+func (r *Repository) Get(name string) (*doc.Node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.docs[name]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// Update applies fn to the stored document under the write lock; fn may
+// return a replacement (or the mutated original).
+func (r *Repository) Update(name string, fn func(*doc.Node) (*doc.Node, error)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.docs[name]
+	if !ok {
+		return fmt.Errorf("peer: no document %q", name)
+	}
+	next, err := fn(d)
+	if err != nil {
+		return err
+	}
+	r.docs[name] = next
+	return nil
+}
+
+// Delete removes a document.
+func (r *Repository) Delete(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.docs, name)
+}
+
+// Names lists stored document names, sorted.
+func (r *Repository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.docs))
+	for name := range r.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of stored documents.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.docs)
+}
+
+// SaveDir persists every document as <name>.xml in dir (created if needed).
+func (r *Repository) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("peer: %w", err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, d := range r.docs {
+		s, err := xmlio.String(d)
+		if err != nil {
+			return fmt.Errorf("peer: serializing %q: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".xml"), []byte(s), 0o644); err != nil {
+			return fmt.Errorf("peer: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every *.xml file of dir into the repository, keyed by file
+// base name.
+func (r *Repository) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("peer: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("peer: %w", err)
+		}
+		d, err := xmlio.ParseString(string(data))
+		if err != nil {
+			return fmt.Errorf("peer: parsing %s: %w", e.Name(), err)
+		}
+		r.Put(strings.TrimSuffix(e.Name(), ".xml"), d)
+	}
+	return nil
+}

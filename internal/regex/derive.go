@@ -1,0 +1,85 @@
+package regex
+
+// Derive returns the Brzozowski derivative of r with respect to symbol a:
+// the language { w : aw ∈ L(r) }. Derivatives power the lazy variant of the
+// paper's Section 7 — the (complement of the) target content model is
+// explored as a DFA whose states are derivative expressions, built only as
+// far as the rewriting search actually needs.
+func Derive(r *Regex, a Symbol) *Regex {
+	switch r.Op {
+	case OpNever, OpEmpty:
+		return never
+	case OpSym:
+		if r.Sym == a {
+			return empty
+		}
+		return never
+	case OpClass:
+		if r.Cls.Contains(a) {
+			return empty
+		}
+		return never
+	case OpAlt:
+		parts := make([]*Regex, len(r.Subs))
+		for i, s := range r.Subs {
+			parts[i] = Derive(s, a)
+		}
+		return Alt(parts...)
+	case OpConcat:
+		// d(r1.r2...rn) = d(r1).r2...rn  |  (if r1 nullable) d(r2...rn)
+		rest := Concat(r.Subs[1:]...)
+		first := Concat(Derive(r.Subs[0], a), rest)
+		if r.Subs[0].Nullable() {
+			return Alt(first, Derive(rest, a))
+		}
+		return first
+	case OpStar:
+		return Concat(Derive(r.Subs[0], a), r)
+	}
+	panic("regex: bad op")
+}
+
+// Match reports whether the word (a sequence of symbols) is in L(r),
+// by repeated derivation. It is linear in len(word) times derivative cost
+// and requires no automaton construction.
+func Match(r *Regex, word []Symbol) bool {
+	for _, a := range word {
+		r = Derive(r, a)
+		if r.Op == OpNever {
+			return false
+		}
+	}
+	return r.Nullable()
+}
+
+// Deriver memoizes derivatives of a root expression, giving an implicit DFA:
+// states are canonical derivative keys, transitions are computed on demand.
+// It is the engine behind the lazy safe-rewriting variant.
+type Deriver struct {
+	memo map[string]map[Symbol]*Regex
+}
+
+// NewDeriver returns an empty derivative cache.
+func NewDeriver() *Deriver {
+	return &Deriver{memo: make(map[string]map[Symbol]*Regex)}
+}
+
+// Derive returns the memoized derivative of r by a.
+func (d *Deriver) Derive(r *Regex, a Symbol) *Regex {
+	k := r.Key()
+	row := d.memo[k]
+	if row == nil {
+		row = make(map[Symbol]*Regex)
+		d.memo[k] = row
+	}
+	if out, ok := row[a]; ok {
+		return out
+	}
+	out := Derive(r, a)
+	row[a] = out
+	return out
+}
+
+// States reports how many distinct expressions have had a derivative taken —
+// a proxy for "DFA states explored", used by the lazy-vs-eager experiments.
+func (d *Deriver) States() int { return len(d.memo) }

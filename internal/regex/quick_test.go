@@ -1,0 +1,196 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randRegex builds a random expression of bounded depth over a small
+// alphabet. It is the generator behind the package's property tests.
+func randRegex(rng *rand.Rand, tab *Table, depth int) *Regex {
+	syms := []string{"a", "b", "c", "d"}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return Empty()
+		default:
+			return Sym(tab.Intern(syms[rng.Intn(len(syms))]))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Concat(randRegex(rng, tab, depth-1), randRegex(rng, tab, depth-1))
+	case 1:
+		return Alt(randRegex(rng, tab, depth-1), randRegex(rng, tab, depth-1))
+	case 2:
+		return Star(randRegex(rng, tab, depth-1))
+	default:
+		return Opt(randRegex(rng, tab, depth-1))
+	}
+}
+
+func randWord(rng *rand.Rand, tab *Table, maxLen int) []Symbol {
+	syms := []string{"a", "b", "c", "d"}
+	n := rng.Intn(maxLen + 1)
+	w := make([]Symbol, n)
+	for i := range w {
+		w[i] = tab.Intern(syms[rng.Intn(len(syms))])
+	}
+	return w
+}
+
+// Property: a sampled word is always matched by the expression it was
+// sampled from.
+func TestQuickSampleInLanguage(t *testing.T) {
+	tab := NewTable()
+	rng := rand.New(rand.NewSource(7))
+	s := NewSampler(rng)
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randRegex(local, tab, 4)
+		w, ok := s.Sample(r)
+		if !ok {
+			return r.IsNever()
+		}
+		return Match(r, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Match agrees with the Glushkov position automaton run as an NFA.
+func TestQuickMatchAgreesWithGlushkov(t *testing.T) {
+	tab := NewTable()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRegex(rng, tab, 4)
+		w := randWord(rng, tab, 6)
+		return Match(r, w) == glushkovAccepts(r, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// glushkovAccepts runs the position automaton directly from PosInfo.
+func glushkovAccepts(r *Regex, w []Symbol) bool {
+	info := Positions(r)
+	if len(w) == 0 {
+		return info.Nullable
+	}
+	cur := map[int]bool{}
+	for _, p := range info.First {
+		if info.Classes[p-1].Contains(w[0]) {
+			cur[p] = true
+		}
+	}
+	for _, a := range w[1:] {
+		next := map[int]bool{}
+		for p := range cur {
+			for _, q := range info.Follow[p-1] {
+				if info.Classes[q-1].Contains(a) {
+					next[q] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, p := range info.Last {
+		if cur[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: derivatives implement left quotient — Match(r, aw) ==
+// Match(d_a(r), w).
+func TestQuickDerivativeQuotient(t *testing.T) {
+	tab := NewTable()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRegex(rng, tab, 4)
+		w := randWord(rng, tab, 5)
+		if len(w) == 0 {
+			return true
+		}
+		return Match(r, w) == Match(Derive(r, w[0]), w[1:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: printing then parsing preserves the language on random words.
+func TestQuickPrintParseLanguage(t *testing.T) {
+	tab := NewTable()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRegex(rng, tab, 4)
+		r2, err := Parse(tab, r.String(tab))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			w := randWord(rng, tab, 5)
+			if Match(r, w) != Match(r2, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ShortestWord, when defined, is in the language and no sampled
+// word is shorter.
+func TestQuickShortestWord(t *testing.T) {
+	tab := NewTable()
+	s := NewSampler(rand.New(rand.NewSource(3)))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRegex(rng, tab, 4)
+		shortest, ok := ShortestWord(r)
+		if !ok {
+			return r.IsNever()
+		}
+		if !Match(r, shortest) {
+			return false
+		}
+		if w, sampled := s.Sample(r); sampled && len(w) < len(shortest) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDeriveNewspaper(b *testing.B) {
+	tab := NewTable()
+	r := MustParse(tab, "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+	w := word(tab, "title", "date", "temp", "exhibit", "exhibit", "exhibit")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Match(r, w) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkGlushkov(b *testing.B) {
+	tab := NewTable()
+	r := MustParse(tab, "title.date.(Get_Temp|temp).(TimeOut|exhibit*).(a|b)*.c{2,5}")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Positions(r)
+	}
+}

@@ -1,0 +1,185 @@
+package regex
+
+import (
+	"math/rand"
+)
+
+// Sampler draws random words from regular languages. It backs the simulated
+// Web services of this repository: a simulated service answers a call with
+// an arbitrary *output instance* of its declared signature, which at the
+// word level is exactly a random member of the output type's language.
+//
+// Star repetitions are drawn geometrically with parameter StarContinue so
+// that expected word lengths stay bounded; fresh symbols for negated-class
+// wildcards are drawn through Fresh.
+type Sampler struct {
+	Rng *rand.Rand
+	// StarContinue is the probability of taking one more iteration of a
+	// starred subexpression. Must be in [0,1). Default 0.5.
+	StarContinue float64
+	// MaxStar caps iterations of any single star (safety net). Default 8.
+	MaxStar int
+	// Fresh supplies a symbol matched by a negated class c; it may intern a
+	// brand-new name. If nil, sampling a wildcard panics.
+	Fresh func(c Class) Symbol
+}
+
+// NewSampler returns a sampler with the given source and default tuning.
+func NewSampler(rng *rand.Rand) *Sampler {
+	return &Sampler{Rng: rng, StarContinue: 0.5, MaxStar: 8}
+}
+
+// Sample returns a uniform-ish random word of L(r), and false iff L(r) is
+// empty. The distribution is not uniform over the language (which may be
+// infinite); it is the natural top-down distribution with geometric stars,
+// which is exactly what an "arbitrary output instance" needs.
+func (s *Sampler) Sample(r *Regex) ([]Symbol, bool) {
+	if emptyLanguage(r) {
+		return nil, false
+	}
+	word := make([]Symbol, 0, 8)
+	word, ok := s.append(word, r)
+	return word, ok
+}
+
+func (s *Sampler) append(word []Symbol, r *Regex) ([]Symbol, bool) {
+	switch r.Op {
+	case OpNever:
+		return word, false
+	case OpEmpty:
+		return word, true
+	case OpSym:
+		return append(word, r.Sym), true
+	case OpClass:
+		if !r.Cls.Negated {
+			if len(r.Cls.Syms) == 0 {
+				return word, false
+			}
+			return append(word, r.Cls.Syms[s.Rng.Intn(len(r.Cls.Syms))]), true
+		}
+		if s.Fresh == nil {
+			panic("regex: Sampler.Fresh not set but language has wildcards")
+		}
+		return append(word, s.Fresh(r.Cls)), true
+	case OpConcat:
+		ok := true
+		for _, sub := range r.Subs {
+			word, ok = s.append(word, sub)
+			if !ok {
+				return word, false
+			}
+		}
+		return word, true
+	case OpAlt:
+		// Choose uniformly among non-empty branches.
+		live := make([]*Regex, 0, len(r.Subs))
+		for _, sub := range r.Subs {
+			if !emptyLanguage(sub) {
+				live = append(live, sub)
+			}
+		}
+		if len(live) == 0 {
+			return word, false
+		}
+		return s.append(word, live[s.Rng.Intn(len(live))])
+	case OpStar:
+		maxIter := s.MaxStar
+		if maxIter <= 0 {
+			maxIter = 8
+		}
+		p := s.StarContinue
+		if p <= 0 || p >= 1 {
+			p = 0.5
+		}
+		for i := 0; i < maxIter; i++ {
+			if s.Rng.Float64() >= p {
+				break
+			}
+			var ok bool
+			word, ok = s.append(word, r.Subs[0])
+			if !ok {
+				// Body language empty: star contributes only ε.
+				return word, true
+			}
+		}
+		return word, true
+	}
+	panic("regex: bad op")
+}
+
+// emptyLanguage reports whether L(r) = ∅. Because constructors propagate ∅
+// everywhere except inside Star (where it normalizes away) this reduces to
+// checking for the canonical ∅ node and empty positive classes.
+func emptyLanguage(r *Regex) bool {
+	switch r.Op {
+	case OpNever:
+		return true
+	case OpClass:
+		return r.Cls.IsEmpty()
+	case OpConcat:
+		for _, s := range r.Subs {
+			if emptyLanguage(s) {
+				return true
+			}
+		}
+		return false
+	case OpAlt:
+		for _, s := range r.Subs {
+			if !emptyLanguage(s) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// ShortestWord returns a minimum-length word of L(r) and false iff the
+// language is empty. Used to build representative documents for the
+// schema-rewriting reduction (Section 6) and minimal counter-examples in
+// error messages.
+func ShortestWord(r *Regex) ([]Symbol, bool) {
+	switch r.Op {
+	case OpNever:
+		return nil, false
+	case OpEmpty, OpStar:
+		if r.Op == OpStar {
+			return []Symbol{}, true
+		}
+		return []Symbol{}, true
+	case OpSym:
+		return []Symbol{r.Sym}, true
+	case OpClass:
+		if r.Cls.IsEmpty() {
+			return nil, false
+		}
+		if !r.Cls.Negated {
+			return []Symbol{r.Cls.Syms[0]}, true
+		}
+		// A wildcard's shortest word needs an arbitrary symbol; callers that
+		// can reach here must handle wildcards themselves.
+		panic("regex: ShortestWord over a wildcard class")
+	case OpConcat:
+		var out []Symbol
+		for _, s := range r.Subs {
+			w, ok := ShortestWord(s)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, w...)
+		}
+		return out, true
+	case OpAlt:
+		var best []Symbol
+		found := false
+		for _, s := range r.Subs {
+			w, ok := ShortestWord(s)
+			if ok && (!found || len(w) < len(best)) {
+				best, found = w, true
+			}
+		}
+		return best, found
+	}
+	panic("regex: bad op")
+}

@@ -1,0 +1,234 @@
+// Package regex implements symbolic regular expressions over alphabets of
+// interned element and function names, as used by intensional-XML content
+// models (Milo et al., "Exchanging Intensional XML Data", SIGMOD 2003).
+//
+// Unlike text regexps, the alphabet here is a set of *names* (element names
+// such as "title", function names such as "Get_Temp", and function-pattern
+// names). Names are interned into dense integer Symbols through a Table so
+// that automata built from these expressions can use slice-indexed
+// transition structures on hot paths.
+//
+// The package provides:
+//
+//   - an AST with smart constructors that keep expressions in a light
+//     canonical form (flattened, ∅/ε-normalized),
+//   - a parser for a compact textual syntax mirroring the paper's notation
+//     ("title.date.(Get_Temp|temp).exhibit*"),
+//   - Brzozowski derivatives and nullability (powering the lazy rewriting
+//     variant of Section 7 of the paper),
+//   - the Glushkov position automaton and the one-unambiguity check that
+//     XML Schema imposes on content models (the paper's determinism
+//     requirement), and
+//   - random sampling of words from a language (powering simulated Web
+//     services whose replies are arbitrary output instances).
+package regex
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Symbol is an interned name. Symbols are dense small integers handed out by
+// a Table; the zero Table hands out 0, 1, 2, ... in interning order.
+type Symbol int32
+
+// NoSymbol is returned by lookups that fail.
+const NoSymbol Symbol = -1
+
+// Table interns names to Symbols. The zero value is not usable; create one
+// with NewTable. Tables are safe for concurrent use: peers share one table
+// across HTTP requests that may intern fresh names (e.g. labels of an
+// incoming exchange schema).
+type Table struct {
+	mu    sync.RWMutex
+	names []string
+	ids   map[string]Symbol
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]Symbol)}
+}
+
+// Intern returns the Symbol for name, creating it if necessary.
+func (t *Table) Intern(name string) Symbol {
+	t.mu.RLock()
+	s, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.ids[name]; ok {
+		return s
+	}
+	s = Symbol(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = s
+	return s
+}
+
+// Lookup returns the Symbol for name if it has been interned.
+func (t *Table) Lookup(name string) (Symbol, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.ids[name]
+	if !ok {
+		return NoSymbol, false
+	}
+	return s, true
+}
+
+// Name returns the name interned as s. It panics if s was not handed out by
+// this table.
+func (t *Table) Name(s Symbol) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if s < 0 || int(s) >= len(t.names) {
+		panic(fmt.Sprintf("regex: symbol %d not in table (len %d)", s, len(t.names)))
+	}
+	return t.names[s]
+}
+
+// Len reports how many symbols have been interned.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
+
+// Symbols returns all interned symbols in interning order.
+func (t *Table) Symbols() []Symbol {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Symbol, len(t.names))
+	for i := range out {
+		out[i] = Symbol(i)
+	}
+	return out
+}
+
+// Names returns a copy of all interned names in interning order.
+func (t *Table) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Class is a set (or complemented set) of symbols, used for wildcard leaves:
+// XML Schema's <any> compiles to a negated empty Class, and namespace
+// exclusions compile to negated non-empty Classes. The Syms slice is always
+// sorted and duplicate-free.
+type Class struct {
+	Negated bool
+	Syms    []Symbol
+}
+
+// NewClass builds a normalized Class from the given symbols.
+func NewClass(negated bool, syms ...Symbol) Class {
+	c := Class{Negated: negated, Syms: append([]Symbol(nil), syms...)}
+	sort.Slice(c.Syms, func(i, j int) bool { return c.Syms[i] < c.Syms[j] })
+	c.Syms = dedupSymbols(c.Syms)
+	return c
+}
+
+// AnyClass matches every symbol.
+func AnyClass() Class { return Class{Negated: true} }
+
+func dedupSymbols(s []Symbol) []Symbol {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the class matches symbol s.
+func (c Class) Contains(s Symbol) bool {
+	i := sort.Search(len(c.Syms), func(i int) bool { return c.Syms[i] >= s })
+	in := i < len(c.Syms) && c.Syms[i] == s
+	return in != c.Negated
+}
+
+// IsEmpty reports whether the class matches no symbol at all. (Only a
+// non-negated empty set is empty; a negated set always matches the infinitely
+// many yet-uninterned symbols.)
+func (c Class) IsEmpty() bool { return !c.Negated && len(c.Syms) == 0 }
+
+// Overlaps reports whether two classes share at least one symbol. Because
+// the symbol universe is unbounded (new names can always be interned), two
+// negated classes always overlap.
+func (c Class) Overlaps(d Class) bool {
+	switch {
+	case !c.Negated && !d.Negated:
+		return intersectSorted(c.Syms, d.Syms)
+	case c.Negated && d.Negated:
+		return true
+	case c.Negated:
+		c, d = d, c
+		fallthrough
+	default:
+		// c positive, d negated: overlap unless every symbol of c is excluded.
+		for _, s := range c.Syms {
+			if d.Contains(s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func intersectSorted(a, b []Symbol) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Equal reports structural equality of two classes.
+func (c Class) Equal(d Class) bool {
+	if c.Negated != d.Negated || len(c.Syms) != len(d.Syms) {
+		return false
+	}
+	for i := range c.Syms {
+		if c.Syms[i] != d.Syms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the class using the table for names.
+func (c Class) String(t *Table) string {
+	if c.Negated && len(c.Syms) == 0 {
+		return "~"
+	}
+	s := ""
+	for i, sym := range c.Syms {
+		if i > 0 {
+			s += "|"
+		}
+		s += t.Name(sym)
+	}
+	if c.Negated {
+		return "~!(" + s + ")"
+	}
+	return "(" + s + ")"
+}

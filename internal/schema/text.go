@@ -1,0 +1,227 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"axml/internal/regex"
+)
+
+// ParseText parses the compact line-oriented schema DSL used by the CLI,
+// tests and examples. The format, one declaration per line:
+//
+//	# comment
+//	root newspaper
+//	elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)
+//	elem title = data
+//	func Get_Temp = city -> temp
+//	func TimeOut = data -> (exhibit|performance)* {cost=2, effects}
+//	func Secret = data -> data {noninvoke}
+//	pattern Forecast = city -> temp {pred=uddi}
+//
+// Options in braces: "noninvoke" (not invocable), "effects" (side effects),
+// "cost=<float>", "endpoint=<url>", "ns=<uri>", and for patterns
+// "pred=<name>" resolved through the preds map.
+func ParseText(src string, preds map[string]Predicate) (*Schema, error) {
+	return ParseTextShared(New(), src, preds)
+}
+
+// ParseTextShared is ParseText but declares into an existing schema, so that
+// a sender schema and an exchange schema can share one symbol table.
+func ParseTextShared(s *Schema, src string, preds map[string]Predicate) (*Schema, error) {
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(s, line, preds); err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+		}
+	}
+	return s, nil
+}
+
+// MustParseText is ParseText panicking on error, for tests and examples.
+func MustParseText(src string, preds map[string]Predicate) *Schema {
+	s, err := ParseText(src, preds)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseLine(s *Schema, line string, preds map[string]Predicate) error {
+	fields := strings.SplitN(line, " ", 2)
+	if len(fields) != 2 {
+		return fmt.Errorf("malformed declaration %q", line)
+	}
+	keyword, rest := fields[0], strings.TrimSpace(fields[1])
+	switch keyword {
+	case "root":
+		s.Root = rest
+		return nil
+	case "elem":
+		name, rhs, err := splitDecl(rest)
+		if err != nil {
+			return err
+		}
+		if rhs == "data" {
+			return s.SetData(name)
+		}
+		return s.SetLabel(name, rhs)
+	case "func", "pattern":
+		name, rhs, err := splitDecl(rest)
+		if err != nil {
+			return err
+		}
+		rhs, opts, err := splitOptions(rhs)
+		if err != nil {
+			return err
+		}
+		in, out, ok := strings.Cut(rhs, "->")
+		if !ok {
+			return fmt.Errorf("%s %q: missing '->' in signature", keyword, name)
+		}
+		in, out = strings.TrimSpace(in), strings.TrimSpace(out)
+		if keyword == "pattern" {
+			var pred Predicate
+			if pname, okp := opts["pred"]; okp {
+				pred = preds[pname]
+				if pred == nil {
+					return fmt.Errorf("pattern %q: unknown predicate %q", name, pname)
+				}
+			}
+			if err := s.SetPattern(name, in, out, pred); err != nil {
+				return err
+			}
+			if _, ni := opts["noninvoke"]; ni {
+				s.Patterns[name].Invocable = false
+			}
+			return nil
+		}
+		return s.SetFuncDef(name, in, out, func(d *FuncDef) {
+			if _, ok := opts["noninvoke"]; ok {
+				d.Invocable = false
+			}
+			if _, ok := opts["effects"]; ok {
+				d.SideEffects = true
+			}
+			if v, ok := opts["cost"]; ok {
+				if c, err := strconv.ParseFloat(v, 64); err == nil {
+					d.Cost = c
+				}
+			}
+			if v, ok := opts["endpoint"]; ok {
+				d.Endpoint = v
+			}
+			if v, ok := opts["ns"]; ok {
+				d.Namespace = v
+			}
+		})
+	default:
+		return fmt.Errorf("unknown keyword %q", keyword)
+	}
+}
+
+func splitDecl(rest string) (name, rhs string, err error) {
+	name, rhs, ok := strings.Cut(rest, "=")
+	if !ok {
+		return "", "", fmt.Errorf("missing '=' in %q", rest)
+	}
+	return strings.TrimSpace(name), strings.TrimSpace(rhs), nil
+}
+
+// splitOptions strips a trailing {k=v, flag, ...} group.
+func splitOptions(rhs string) (string, map[string]string, error) {
+	opts := map[string]string{}
+	open := strings.LastIndexByte(rhs, '{')
+	if open < 0 {
+		return strings.TrimSpace(rhs), opts, nil
+	}
+	if !strings.HasSuffix(strings.TrimSpace(rhs), "}") {
+		return "", nil, fmt.Errorf("unterminated option group in %q", rhs)
+	}
+	body := strings.TrimSpace(rhs)
+	body = body[open+1 : len(body)-1]
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(part, "=")
+		opts[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return strings.TrimSpace(rhs[:open]), opts, nil
+}
+
+// Text renders the schema back in the DSL, deterministically ordered. Only
+// data representable in the DSL round-trips (predicates print as their
+// presence cannot be recovered; they render as a comment).
+func (s *Schema) Text() string {
+	var b strings.Builder
+	if s.Root != "" {
+		fmt.Fprintf(&b, "root %s\n", s.Root)
+	}
+	for _, name := range s.SortedLabels() {
+		d := s.Labels[name]
+		if d.IsData() {
+			fmt.Fprintf(&b, "elem %s = data\n", name)
+		} else {
+			fmt.Fprintf(&b, "elem %s = %s\n", name, d.Content.String(s.Table))
+		}
+	}
+	for _, name := range s.SortedFuncs() {
+		d := s.Funcs[name]
+		var opts []string
+		if !d.Invocable {
+			opts = append(opts, "noninvoke")
+		}
+		if d.SideEffects {
+			opts = append(opts, "effects")
+		}
+		if d.Cost != 0 {
+			opts = append(opts, fmt.Sprintf("cost=%g", d.Cost))
+		}
+		if d.Endpoint != "" {
+			opts = append(opts, "endpoint="+d.Endpoint)
+		}
+		if d.Namespace != "" {
+			opts = append(opts, "ns="+d.Namespace)
+		}
+		fmt.Fprintf(&b, "func %s = %s -> %s%s\n", name, typeText(s, d.In), typeText(s, d.Out), optText(opts))
+	}
+	for _, name := range s.SortedPatterns() {
+		d := s.Patterns[name]
+		var opts []string
+		if !d.Invocable {
+			opts = append(opts, "noninvoke")
+		}
+		sort.Strings(opts)
+		fmt.Fprintf(&b, "pattern %s = %s -> %s%s", name, typeText(s, d.In), typeText(s, d.Out), optText(opts))
+		if d.Pred != nil {
+			b.WriteString(" # predicate attached")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func typeText(s *Schema, r *regex.Regex) string {
+	if r == nil {
+		return "data"
+	}
+	return r.String(s.Table)
+}
+
+func optText(opts []string) string {
+	if len(opts) == 0 {
+		return ""
+	}
+	return " {" + strings.Join(opts, ", ") + "}"
+}

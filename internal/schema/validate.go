@@ -1,0 +1,300 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"axml/internal/doc"
+	"axml/internal/regex"
+)
+
+// Context bundles everything needed to check documents against a schema:
+// the target schema itself and the schema supplying function signatures
+// (normally the sender's schema s0, holding the WSDL descriptions of every
+// function appearing in documents). Both must intern into the same symbol
+// table.
+type Context struct {
+	Target *Schema
+	// Sigs supplies signatures for functions the target schema does not
+	// declare (pattern matching needs them). Defaults to Target.
+	Sigs *Schema
+	// Strict makes validation fail on subtrees whose labels are mentioned
+	// in content models but never declared; when false (the default) such
+	// subtrees are accepted unconstrained, mirroring the leniency real
+	// validators apply to foreign content.
+	Strict bool
+}
+
+// NewContext builds a validation context. sigs may be nil, defaulting to
+// target. It panics if the two schemas do not share a symbol table, because
+// every downstream automaton construction would silently confuse symbols.
+func NewContext(target, sigs *Schema) *Context {
+	if sigs == nil {
+		sigs = target
+	}
+	if target.Table != sigs.Table {
+		panic("schema: target and signature schemas must share one symbol table")
+	}
+	return &Context{Target: target, Sigs: sigs}
+}
+
+// LookupFunc resolves a function declaration, target schema first.
+func (c *Context) LookupFunc(name string) *FuncDef {
+	if d := c.Target.Funcs[name]; d != nil {
+		return d
+	}
+	return c.Sigs.Funcs[name]
+}
+
+// LookupLabel resolves an element declaration, target schema first.
+func (c *Context) LookupLabel(name string) *LabelDef {
+	if d := c.Target.Labels[name]; d != nil {
+		return d
+	}
+	return c.Sigs.Labels[name]
+}
+
+// AdmissibleSyms returns the schema symbols a document child can be read as
+// when matching a content model: its own name, plus — for function nodes —
+// every declared pattern that admits it (predicate passes and signatures
+// agree).
+func (c *Context) AdmissibleSyms(n *doc.Node) []regex.Symbol {
+	sym := c.Target.Table.Intern(n.Label)
+	out := []regex.Symbol{sym}
+	if n.Kind != doc.Func {
+		return out
+	}
+	def := c.LookupFunc(n.Label)
+	if def == nil {
+		return out
+	}
+	for _, pname := range c.Target.SortedPatterns() {
+		if FuncMatchesPattern(def, c.Target.Patterns[pname]) {
+			out = append(out, c.Target.Table.Intern(pname))
+		}
+	}
+	return out
+}
+
+// matchLetters runs the Glushkov automaton of r over a word whose letters
+// are *sets* of admissible symbols: an edge fires when its class contains
+// any admissible symbol of the letter.
+func matchLetters(r *regex.Regex, letters [][]regex.Symbol) bool {
+	info := regex.Positions(r)
+	contains := func(cls regex.Class, letter []regex.Symbol) bool {
+		for _, s := range letter {
+			if cls.Contains(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(letters) == 0 {
+		return info.Nullable
+	}
+	cur := map[int]bool{}
+	for _, p := range info.First {
+		if contains(info.Classes[p-1], letters[0]) {
+			cur[p] = true
+		}
+	}
+	for _, letter := range letters[1:] {
+		next := map[int]bool{}
+		for p := range cur {
+			for _, q := range info.Follow[p-1] {
+				if contains(info.Classes[q-1], letter) {
+					next[q] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, p := range info.Last {
+		if cur[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchWord reports whether the (non-text) children of a node, resolved
+// through patterns, form a word of the content model r.
+func (c *Context) MatchWord(r *regex.Regex, children []*doc.Node) bool {
+	letters := make([][]regex.Symbol, 0, len(children))
+	for _, ch := range children {
+		if ch.Kind == doc.Text {
+			continue
+		}
+		letters = append(letters, c.AdmissibleSyms(ch))
+	}
+	return matchLetters(r, letters)
+}
+
+// ValidationError reports the first schema violation found, with the path of
+// the offending node.
+type ValidationError struct {
+	Path string
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("schema: %s: %s", e.Path, e.Msg)
+}
+
+func errAt(path []string, format string, args ...any) error {
+	return &ValidationError{Path: "/" + strings.Join(path, "/"), Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks that n is an instance of the target schema (Definition 3):
+// every element's children form a word of its content model, every function
+// node's parameters form a word of its input type, and data elements hold
+// only text.
+func (c *Context) Validate(n *doc.Node) error {
+	return c.validate(n, []string{n.Label})
+}
+
+func (c *Context) validate(n *doc.Node, path []string) error {
+	switch n.Kind {
+	case doc.Text:
+		return nil
+	case doc.Element:
+		def := c.Target.Labels[n.Label]
+		if def == nil {
+			if c.Strict {
+				return errAt(path, "element %q is not declared", n.Label)
+			}
+			return nil // lenient: foreign content is unconstrained
+		}
+		if def.IsData() {
+			for _, ch := range n.Children {
+				if ch.Kind != doc.Text {
+					return errAt(path, "data element contains non-text child %q", ch.Label)
+				}
+			}
+			return nil
+		}
+		if err := c.checkContentAndText(n, def.Content, path); err != nil {
+			return err
+		}
+		return c.validateChildren(n, path)
+	case doc.Func:
+		def := c.LookupFunc(n.Label)
+		if def == nil {
+			if c.Strict {
+				return errAt(path, "function %q is not declared", n.Label)
+			}
+			return nil
+		}
+		if def.In == nil {
+			for _, ch := range n.Children {
+				if ch.Kind != doc.Text {
+					return errAt(path, "function %q takes atomic data but was given %q", n.Label, ch.Label)
+				}
+			}
+			return nil
+		}
+		if !c.MatchWord(def.In, n.Children) {
+			return errAt(path, "parameters of %q do not match input type %s",
+				n.Label, def.In.String(c.Target.Table))
+		}
+		return c.validateChildren(n, path)
+	}
+	return errAt(path, "unknown node kind %d", n.Kind)
+}
+
+func (c *Context) checkContentAndText(n *doc.Node, content *regex.Regex, path []string) error {
+	for _, ch := range n.Children {
+		if ch.Kind == doc.Text && strings.TrimSpace(ch.Value) != "" {
+			return errAt(path, "element has structured content model but contains text %q", ch.Value)
+		}
+	}
+	if !c.MatchWord(content, n.Children) {
+		return errAt(path, "children %v do not match content model %s",
+			childLabels(n), content.String(c.Target.Table))
+	}
+	return nil
+}
+
+func (c *Context) validateChildren(n *doc.Node, path []string) error {
+	for i, ch := range n.Children {
+		if ch.Kind == doc.Text {
+			continue
+		}
+		if err := c.validate(ch, append(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func childLabels(n *doc.Node) []string { return n.ChildLabels() }
+
+// IsInputInstance checks that params is an input instance of function f
+// (Definition 3): the root labels form a word of τ_in(f) and every tree is
+// an instance of the schema.
+func (c *Context) IsInputInstance(f string, params []*doc.Node) error {
+	def := c.LookupFunc(f)
+	if def == nil {
+		return fmt.Errorf("schema: function %q is not declared", f)
+	}
+	return c.isForestInstance(def.In, params, fmt.Sprintf("input of %s", f))
+}
+
+// IsOutputInstance checks that result is an output instance of function f.
+func (c *Context) IsOutputInstance(f string, result []*doc.Node) error {
+	def := c.LookupFunc(f)
+	if def == nil {
+		return fmt.Errorf("schema: function %q is not declared", f)
+	}
+	return c.isForestInstance(def.Out, result, fmt.Sprintf("output of %s", f))
+}
+
+func (c *Context) isForestInstance(typ *regex.Regex, forest []*doc.Node, what string) error {
+	if typ == nil {
+		for _, n := range forest {
+			if n.Kind != doc.Text {
+				return fmt.Errorf("schema: %s must be atomic data, got %q", what, n.Label)
+			}
+		}
+		return nil
+	}
+	if !c.MatchWord(typ, forest) {
+		return fmt.Errorf("schema: %s %v does not match type %s",
+			what, forestLabels(forest), typ.String(c.Target.Table))
+	}
+	for _, n := range forest {
+		if n.Kind == doc.Text {
+			continue
+		}
+		if err := c.validate(n, []string{n.Label}); err != nil {
+			return fmt.Errorf("%s: %w", what, err)
+		}
+	}
+	return nil
+}
+
+func forestLabels(forest []*doc.Node) []string {
+	out := make([]string, 0, len(forest))
+	for _, n := range forest {
+		if n.Kind != doc.Text {
+			out = append(out, n.Label)
+		}
+	}
+	return out
+}
+
+// WordOf converts the non-text children of n into the symbol word the core
+// algorithms rewrite, interning labels as needed.
+func (c *Context) WordOf(n *doc.Node) []regex.Symbol {
+	out := make([]regex.Symbol, 0, len(n.Children))
+	for _, ch := range n.Children {
+		if ch.Kind == doc.Text {
+			continue
+		}
+		out = append(out, c.Target.Table.Intern(ch.Label))
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+	"axml/internal/service"
+)
+
+// Server exposes a service registry as a SOAP endpoint. The OnRequest and
+// OnResponse hooks are where the peer's Schema Enforcement module plugs in:
+// they may rewrite (materialize) the forests or reject the exchange.
+type Server struct {
+	Registry  *service.Registry
+	Namespace string
+	// OnRequest intercepts decoded parameters before dispatch.
+	OnRequest func(method string, params []*doc.Node) ([]*doc.Node, error)
+	// OnResponse intercepts results before they are written back.
+	OnResponse func(method string, result []*doc.Node) ([]*doc.Node, error)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoints accept POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := ReadRequest(r.Body)
+	if err != nil {
+		s.fault(w, http.StatusBadRequest, "soap:Client", err)
+		return
+	}
+	params := req.Params
+	if s.OnRequest != nil {
+		params, err = s.OnRequest(req.Method, params)
+		if err != nil {
+			s.fault(w, http.StatusBadRequest, "soap:Client", err)
+			return
+		}
+	}
+	result, err := s.Registry.Call(req.Method, params)
+	if err != nil {
+		s.fault(w, http.StatusInternalServerError, "soap:Server", err)
+		return
+	}
+	if s.OnResponse != nil {
+		result, err = s.OnResponse(req.Method, result)
+		if err != nil {
+			s.fault(w, http.StatusInternalServerError, "soap:Server", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, req.Method, s.Namespace, result); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) fault(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(status)
+	_ = WriteFault(w, code, err.Error())
+}
+
+// Client calls a fixed SOAP endpoint.
+type Client struct {
+	Endpoint  string
+	Namespace string
+	HTTP      *http.Client
+}
+
+// Call performs one SOAP request/response round trip.
+func (c *Client) Call(method string, params []*doc.Node) ([]*doc.Node, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, method, c.Namespace, params); err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Post(c.Endpoint, "text/xml; charset=utf-8", &buf)
+	if err != nil {
+		return nil, fmt.Errorf("soap: calling %s at %s: %w", method, c.Endpoint, err)
+	}
+	defer resp.Body.Close()
+	out, err := ReadResponse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %s at %s: %w", method, c.Endpoint, err)
+	}
+	return out, nil
+}
+
+// Invoker routes function nodes to SOAP endpoints: a node's ServiceRef
+// endpoint wins; Default is used for nodes without one. It implements
+// core.Invoker, making remote services directly usable by the rewriter.
+type Invoker struct {
+	// Default is the endpoint for calls without an explicit ServiceRef.
+	Default string
+	// Namespace stamps outgoing body elements.
+	Namespace string
+	HTTP      *http.Client
+}
+
+// Invoke implements core.Invoker.
+func (i *Invoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
+	endpoint := i.Default
+	ns := i.Namespace
+	if call.Service != nil {
+		if call.Service.Endpoint != "" {
+			endpoint = call.Service.Endpoint
+		}
+		if call.Service.Namespace != "" {
+			ns = call.Service.Namespace
+		}
+	}
+	if endpoint == "" {
+		return nil, fmt.Errorf("soap: no endpoint for %q", call.Label)
+	}
+	c := &Client{Endpoint: endpoint, Namespace: ns, HTTP: i.HTTP}
+	return c.Call(call.Label, call.Children)
+}
+
+var _ core.Invoker = (*Invoker)(nil)

@@ -1,0 +1,209 @@
+// Package soap implements the minimal SOAP 1.1 transport the Active XML
+// system exchanges intensional documents over: document-style envelopes
+// whose bodies carry a method element with an intensional parameter forest,
+// an http.Handler exposing a service registry, and a client-side
+// core.Invoker that routes function nodes to their endpoints.
+//
+// The envelope subset is deliberately small — one body entry, no headers,
+// standard Fault reporting — which is all the paper's data-exchange scenario
+// requires; everything interesting rides inside the intensional XML payload.
+package soap
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"axml/internal/doc"
+	"axml/internal/xmlio"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// Fault is a decoded SOAP fault.
+type Fault struct {
+	Code   string
+	String string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.String)
+}
+
+// Request is a decoded call request.
+type Request struct {
+	Method    string
+	Namespace string
+	Params    []*doc.Node
+}
+
+// WriteRequest encodes a call envelope.
+func WriteRequest(w io.Writer, method, namespace string, params []*doc.Node) error {
+	return writeEnvelope(w, method, namespace, params)
+}
+
+// WriteResponse encodes a reply envelope; the body element is
+// <m:<method>Response>.
+func WriteResponse(w io.Writer, method, namespace string, result []*doc.Node) error {
+	return writeEnvelope(w, method+"Response", namespace, result)
+}
+
+// WriteFault encodes a fault envelope.
+func WriteFault(w io.Writer, code, msg string) error {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, "<soap:Envelope xmlns:soap=%q>\n  <soap:Body>\n    <soap:Fault>\n", EnvelopeNS)
+	fmt.Fprintf(&b, "      <faultcode>%s</faultcode>\n", escape(code))
+	fmt.Fprintf(&b, "      <faultstring>%s</faultstring>\n", escape(msg))
+	b.WriteString("    </soap:Fault>\n  </soap:Body>\n</soap:Envelope>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+func writeEnvelope(w io.Writer, bodyElem, namespace string, forest []*doc.Node) error {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, "<soap:Envelope xmlns:soap=%q xmlns:int=%q>\n", EnvelopeNS, xmlio.Namespace)
+	b.WriteString("  <soap:Body>\n")
+	ns := ""
+	if namespace != "" {
+		ns = fmt.Sprintf(" xmlns:m=%q", namespace)
+	}
+	prefix := ""
+	if namespace != "" {
+		prefix = "m:"
+	}
+	fmt.Fprintf(&b, "    <%s%s%s>\n", prefix, bodyElem, ns)
+	for _, n := range forest {
+		if err := xmlio.WriteFragment(&b, n, 3, false); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(&b, "    </%s%s>\n", prefix, bodyElem)
+	b.WriteString("  </soap:Body>\n</soap:Envelope>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadRequest decodes a call envelope.
+func ReadRequest(r io.Reader) (*Request, error) {
+	method, ns, forest, fault, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if fault != nil {
+		return nil, fault
+	}
+	return &Request{Method: method, Namespace: ns, Params: forest}, nil
+}
+
+// ReadResponse decodes a reply envelope, returning the result forest; SOAP
+// faults surface as *Fault errors.
+func ReadResponse(r io.Reader) ([]*doc.Node, error) {
+	method, _, forest, fault, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if fault != nil {
+		return nil, fault
+	}
+	if !strings.HasSuffix(method, "Response") {
+		return nil, fmt.Errorf("soap: body element %q is not a response", method)
+	}
+	return forest, nil
+}
+
+// readEnvelope walks Envelope/Body and decodes the single body entry.
+func readEnvelope(r io.Reader) (method, namespace string, forest []*doc.Node, fault *Fault, err error) {
+	dec := xml.NewDecoder(r)
+	if err := expectStart(dec, EnvelopeNS, "Envelope"); err != nil {
+		return "", "", nil, nil, err
+	}
+	if err := expectStart(dec, EnvelopeNS, "Body"); err != nil {
+		return "", "", nil, nil, err
+	}
+	start, err2 := nextStart(dec)
+	if err2 != nil {
+		return "", "", nil, nil, fmt.Errorf("soap: empty body: %w", err2)
+	}
+	if start.Name.Space == EnvelopeNS && start.Name.Local == "Fault" {
+		f, err3 := readFault(dec)
+		return "", "", nil, f, err3
+	}
+	forest, err = xmlio.ParseChildrenAt(dec, start.Name)
+	if err != nil {
+		return "", "", nil, nil, fmt.Errorf("soap: body entry: %w", err)
+	}
+	return start.Name.Local, start.Name.Space, forest, nil, nil
+}
+
+func readFault(dec *xml.Decoder) (*Fault, error) {
+	f := &Fault{}
+	depth := 1
+	var field *string
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: truncated fault: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			switch t.Name.Local {
+			case "faultcode":
+				field = &f.Code
+			case "faultstring":
+				field = &f.String
+			default:
+				field = nil
+			}
+		case xml.CharData:
+			if field != nil {
+				*field += strings.TrimSpace(string(t))
+			}
+		case xml.EndElement:
+			depth--
+			field = nil
+		}
+	}
+	return f, nil
+}
+
+// nextStart returns the next StartElement, skipping whitespace and comments.
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.StartElement{}, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return t, nil
+		case xml.EndElement:
+			return xml.StartElement{}, fmt.Errorf("soap: unexpected </%s>", t.Name.Local)
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return xml.StartElement{}, fmt.Errorf("soap: unexpected text %q", string(t))
+			}
+		}
+	}
+}
+
+func expectStart(dec *xml.Decoder, space, local string) error {
+	start, err := nextStart(dec)
+	if err != nil {
+		return fmt.Errorf("soap: expected <%s>: %w", local, err)
+	}
+	if start.Name.Space != space || start.Name.Local != local {
+		return fmt.Errorf("soap: expected <%s> in %s, got <%s> in %s", local, space, start.Name.Local, start.Name.Space)
+	}
+	return nil
+}

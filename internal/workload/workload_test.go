@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"axml/internal/doc"
+	"axml/internal/schema"
+)
+
+func TestRandomSchemaWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomSchema(rng, Options{Labels: 5, Funcs: 3})
+		if s.Root != "e0" {
+			t.Fatalf("root = %q", s.Root)
+		}
+		if len(s.Labels) != 10 { // 5 structured + 5 data
+			t.Fatalf("labels = %d", len(s.Labels))
+		}
+		if len(s.Funcs) != 3 {
+			t.Fatalf("funcs = %d", len(s.Funcs))
+		}
+		if err := s.CheckDeterministic(); err != nil {
+			t.Errorf("seed %d: generated schema not deterministic: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratedInstancesValidate(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomSchema(rng, Options{Labels: 4, Funcs: 2})
+		g := NewGenerator(s, rng)
+		root, err := g.Root()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ctx := schema.NewContext(s, nil)
+		if err := ctx.Validate(root); err != nil {
+			t.Errorf("seed %d: generated instance invalid: %v\n%s", seed, err, root)
+		}
+	}
+}
+
+func TestGeneratorTerminatesOnRecursiveSchema(t *testing.T) {
+	s := schema.MustParseText(`
+root results
+elem results = url*.Get_More?
+elem url = data
+func Get_More = data -> url*.Get_More?
+`, nil)
+	g := NewGenerator(s, rand.New(rand.NewSource(1)))
+	g.MaxDepth = 4
+	for i := 0; i < 50; i++ {
+		root, err := g.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root.Count() > 10000 {
+			t.Fatal("runaway generation")
+		}
+	}
+}
+
+func TestSimInvokerOutputsConform(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomSchema(rng, Options{Labels: 4, Funcs: 3})
+		si := NewSimInvoker(s, rng)
+		ctx := schema.NewContext(s, nil)
+		for _, fname := range s.SortedFuncs() {
+			call := doc.Call(fname)
+			out, err := si.Invoke(call)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, fname, err)
+			}
+			if err := ctx.IsOutputInstance(fname, out); err != nil {
+				t.Errorf("seed %d: simulated %s returned non-instance: %v", seed, fname, err)
+			}
+		}
+		if si.Calls != len(s.Funcs) {
+			t.Errorf("calls = %d", si.Calls)
+		}
+	}
+}
+
+func TestSimInvokerUnknownFunc(t *testing.T) {
+	s := schema.MustParseText("elem a = data", nil)
+	si := NewSimInvoker(s, rand.New(rand.NewSource(1)))
+	if _, err := si.Invoke(doc.Call("nope")); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestDataFunctionSimulation(t *testing.T) {
+	s := schema.MustParseText(`
+elem temp = data
+func Read = data -> data
+`, nil)
+	si := NewSimInvoker(s, rand.New(rand.NewSource(1)))
+	out, err := si.Invoke(doc.Call("Read"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Kind != doc.Text {
+		t.Errorf("data function should return one text node, got %v", out)
+	}
+}
+
+func TestPatternInstanceGeneration(t *testing.T) {
+	s := schema.MustParseText(`
+root page
+elem page = Forecast
+elem city = data
+elem temp = data
+func Get_Temp = city -> temp
+pattern Forecast = city -> temp
+`, nil)
+	g := NewGenerator(s, rand.New(rand.NewSource(2)))
+	root, err := g.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 1 || root.Children[0].Label != "Get_Temp" {
+		t.Errorf("pattern slot should be filled by Get_Temp: %s", root)
+	}
+	ctx := schema.NewContext(s, nil)
+	if err := ctx.Validate(root); err != nil {
+		t.Errorf("pattern instance invalid: %v", err)
+	}
+}

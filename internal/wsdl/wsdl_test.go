@@ -1,0 +1,95 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/schema"
+	"axml/internal/xsdint"
+)
+
+func testDescription(t *testing.T) *Description {
+	t.Helper()
+	s := schema.MustParseText(`
+elem city = data
+elem temp = data
+func Get_Temp = city -> temp {endpoint=http://forecast.example/soap, ns=urn:weather}
+func Get_Forecast = city -> temp*
+`, nil)
+	return &Description{
+		Name:            "WeatherService",
+		TargetNamespace: "urn:weather",
+		Endpoint:        "http://forecast.example/soap",
+		Schema:          s,
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	d := testDescription(t)
+	out, err := String(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(out, xsdint.Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if back.Name != d.Name || back.TargetNamespace != d.TargetNamespace || back.Endpoint != d.Endpoint {
+		t.Errorf("metadata changed: %+v", back)
+	}
+	ops := back.Operations()
+	if len(ops) != 2 || ops[0] != "Get_Forecast" || ops[1] != "Get_Temp" {
+		t.Errorf("operations = %v", ops)
+	}
+	gt := back.Schema.Funcs["Get_Temp"]
+	if gt == nil || gt.Endpoint != "http://forecast.example/soap" {
+		t.Errorf("operation attrs lost: %+v", gt)
+	}
+	if gt.In.String(back.Schema.Table) != "city" {
+		t.Errorf("input type = %s", gt.In.String(back.Schema.Table))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`<definitions xmlns="http://schemas.xmlsoap.org/wsdl/"/>`, // no schema
+		`<definitions><definitions/></definitions>`,
+		`<definitions><types><schema><element/></schema></types></definitions>`,
+	} {
+		if _, err := ParseString(src, xsdint.Options{}); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		}
+	}
+}
+
+func TestSharedTableAcrossDescriptions(t *testing.T) {
+	d := testDescription(t)
+	out, err := String(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := d.Schema.Table
+	back, err := ParseString(out, xsdint.Options{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := table.Lookup("city")
+	b, _ := back.Schema.Table.Lookup("city")
+	if a != b {
+		t.Error("symbol tables diverged")
+	}
+}
+
+func TestWriteContainsEmbeddedSchema(t *testing.T) {
+	d := testDescription(t)
+	out, err := String(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<types>", "<schema", `function id="Get_Temp"`, `<address location="http://forecast.example/soap"/>`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

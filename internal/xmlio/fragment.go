@@ -1,0 +1,40 @@
+package xmlio
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+
+	"axml/internal/doc"
+)
+
+// ParseElementAt parses the element that start opened, reading the rest of
+// its content from dec. It lets embedding formats (SOAP envelopes, WSDL_int)
+// delegate intensional-content parsing mid-stream.
+func ParseElementAt(dec *xml.Decoder, start xml.StartElement) (*doc.Node, error) {
+	return parseElement(dec, start)
+}
+
+// ParseChildrenAt parses a forest: all content up to (and including) the end
+// tag matching parent. Whitespace-only text is dropped; other text becomes
+// trimmed text nodes.
+func ParseChildrenAt(dec *xml.Decoder, parent xml.Name) ([]*doc.Node, error) {
+	return parseChildren(dec, parent)
+}
+
+// WriteFragment serializes one node without an XML declaration, starting at
+// the given indentation depth. declareNS forces the int namespace
+// declaration onto the top element; callers embedding fragments under a root
+// that already declares it pass false.
+func WriteFragment(w io.Writer, n *doc.Node, depth int, declareNS bool) error {
+	p := &printer{w: w}
+	p.node(n, depth, declareNS)
+	return p.err
+}
+
+// Fragment renders one node as an indented string without the declaration.
+func Fragment(n *doc.Node) string {
+	var b strings.Builder
+	_ = WriteFragment(&b, n, 0, n.HasFuncs())
+	return b.String()
+}

@@ -1,0 +1,290 @@
+// Package xmlio maps intensional documents to and from the XML syntax of
+// Section 7 of the paper: function nodes are represented by elements in the
+// namespace http://www.activexml.com/ns/int —
+//
+//	<int:fun endpointURL="http://forecast.example/soap"
+//	         methodName="Get_Temp" namespaceURI="urn:weather">
+//	  <int:params>
+//	    <int:param><city>Paris</city></int:param>
+//	  </int:params>
+//	</int:fun>
+//
+// — appearing anywhere ordinary elements may appear. Parsing resolves
+// namespaces through encoding/xml; serialization declares the int prefix on
+// the root element whenever the document contains function nodes.
+//
+// Following the paper's single label domain, element namespaces other than
+// the intensional one are not modeled: prefixed names collapse to their
+// local part on parse, and labels should not contain ':'.
+package xmlio
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"axml/internal/doc"
+)
+
+// Namespace is the intensional-markup namespace of the Active XML system.
+const Namespace = "http://www.activexml.com/ns/int"
+
+// Parse reads one intensional XML document.
+func Parse(r io.Reader) (*doc.Node, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xmlio: no root element")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return parseElement(dec, t)
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return nil, fmt.Errorf("xmlio: stray text %q before root element", string(t))
+			}
+		case xml.ProcInst, xml.Comment, xml.Directive:
+			// skip prolog
+		}
+	}
+}
+
+// ParseString parses from a string.
+func ParseString(s string) (*doc.Node, error) { return Parse(strings.NewReader(s)) }
+
+// parseElement parses the element that start opens, dispatching on the
+// intensional namespace.
+func parseElement(dec *xml.Decoder, start xml.StartElement) (*doc.Node, error) {
+	if start.Name.Space == Namespace {
+		if start.Name.Local != "fun" {
+			return nil, fmt.Errorf("xmlio: unexpected intensional element <int:%s>", start.Name.Local)
+		}
+		return parseFun(dec, start)
+	}
+	n := doc.Elem(start.Name.Local)
+	children, err := parseChildren(dec, start.Name)
+	if err != nil {
+		return nil, err
+	}
+	n.Children = children
+	return n, nil
+}
+
+// parseChildren consumes tokens until the matching end element, dropping
+// whitespace-only text when element children are present.
+func parseChildren(dec *xml.Decoder, parent xml.Name) ([]*doc.Node, error) {
+	var children []*doc.Node
+	hasElem := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: inside <%s>: %w", parent.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			hasElem = true
+			child, err := parseElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+		case xml.CharData:
+			s := string(t)
+			if strings.TrimSpace(s) != "" {
+				children = append(children, doc.TextNode(strings.TrimSpace(s)))
+			}
+		case xml.EndElement:
+			_ = hasElem
+			return children, nil
+		}
+	}
+}
+
+// parseFun parses an <int:fun> element.
+func parseFun(dec *xml.Decoder, start xml.StartElement) (*doc.Node, error) {
+	ref := doc.ServiceRef{}
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "endpointURL":
+			ref.Endpoint = a.Value
+		case "methodName":
+			ref.Method = a.Value
+		case "namespaceURI":
+			ref.Namespace = a.Value
+		}
+	}
+	if ref.Method == "" {
+		return nil, fmt.Errorf("xmlio: <int:fun> without methodName")
+	}
+	var n *doc.Node
+	if ref.Endpoint == "" && ref.Namespace == "" {
+		n = doc.Call(ref.Method)
+	} else {
+		n = doc.CallAt(ref)
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: inside <int:fun %s>: %w", ref.Method, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Space == Namespace && t.Name.Local == "params" {
+				params, err := parseParams(dec)
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, params...)
+				continue
+			}
+			return nil, fmt.Errorf("xmlio: unexpected <%s> inside <int:fun>", t.Name.Local)
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return nil, fmt.Errorf("xmlio: stray text inside <int:fun>")
+			}
+		case xml.EndElement:
+			return n, nil
+		}
+	}
+}
+
+// parseParams parses <int:params> as a sequence of <int:param> wrappers,
+// each contributing its content nodes as parameters.
+func parseParams(dec *xml.Decoder) ([]*doc.Node, error) {
+	var out []*doc.Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: inside <int:params>: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Space != Namespace || t.Name.Local != "param" {
+				return nil, fmt.Errorf("xmlio: unexpected <%s> inside <int:params>", t.Name.Local)
+			}
+			kids, err := parseChildren(dec, t.Name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, kids...)
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return nil, fmt.Errorf("xmlio: stray text inside <int:params>")
+			}
+		case xml.EndElement:
+			return out, nil
+		}
+	}
+}
+
+// Write serializes the document with two-space indentation and an XML
+// declaration.
+func Write(w io.Writer, n *doc.Node) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	p := &printer{w: w}
+	p.node(n, 0, n.HasFuncs())
+	if p.err != nil {
+		return p.err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// String serializes to a string.
+func String(n *doc.Node) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, n); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// MustString serializes, panicking on error (nodes cannot normally fail).
+func MustString(n *doc.Node) string {
+	s, err := String(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *printer) escaped(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil && p.err == nil {
+		p.err = err
+	}
+	return b.String()
+}
+
+func (p *printer) node(n *doc.Node, depth int, declareNS bool) {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case doc.Text:
+		p.printf("%s%s\n", indent, p.escaped(n.Value))
+	case doc.Element:
+		ns := ""
+		if declareNS {
+			ns = fmt.Sprintf(" xmlns:int=%q", Namespace)
+		}
+		if len(n.Children) == 0 {
+			p.printf("%s<%s%s/>\n", indent, n.Label, ns)
+			return
+		}
+		if len(n.Children) == 1 && n.Children[0].Kind == doc.Text {
+			p.printf("%s<%s%s>%s</%s>\n", indent, n.Label, ns, p.escaped(n.Children[0].Value), n.Label)
+			return
+		}
+		p.printf("%s<%s%s>\n", indent, n.Label, ns)
+		for _, c := range n.Children {
+			p.node(c, depth+1, false)
+		}
+		p.printf("%s</%s>\n", indent, n.Label)
+	case doc.Func:
+		ref := doc.ServiceRef{Method: n.Label}
+		if n.Service != nil {
+			ref = *n.Service
+		}
+		ns := ""
+		if declareNS {
+			ns = fmt.Sprintf(" xmlns:int=%q", Namespace)
+		}
+		attrs := fmt.Sprintf(" methodName=%q", ref.Method)
+		if ref.Endpoint != "" {
+			attrs = fmt.Sprintf(" endpointURL=%q", ref.Endpoint) + attrs
+		}
+		if ref.Namespace != "" {
+			attrs += fmt.Sprintf(" namespaceURI=%q", ref.Namespace)
+		}
+		if len(n.Children) == 0 {
+			p.printf("%s<int:fun%s%s/>\n", indent, ns, attrs)
+			return
+		}
+		p.printf("%s<int:fun%s%s>\n", indent, ns, attrs)
+		p.printf("%s  <int:params>\n", indent)
+		for _, c := range n.Children {
+			p.printf("%s    <int:param>\n", indent)
+			p.node(c, depth+3, false)
+			p.printf("%s    </int:param>\n", indent)
+		}
+		p.printf("%s  </int:params>\n", indent)
+		p.printf("%s</int:fun>\n", indent)
+	}
+}

@@ -1,0 +1,539 @@
+// Package xsdint implements XML Schema_int, the paper's extension of XML
+// Schema for intensional documents (Section 7): alongside the usual element
+// and complex-type machinery, schemas declare *functions* and *function
+// patterns* that may be referenced wherever element particles may appear.
+//
+// The supported subset covers what the paper's implementation used: global
+// element declarations, complexType with nested sequence/choice particles,
+// element references, minOccurs/maxOccurs (including "unbounded"), atomic
+// simple types (any xs:* type attribute means atomic data), wildcards
+// (<any/>, plus a "not" attribute for exclusions), and the two intensional
+// declarations:
+//
+//	<function id="Get_Temp" methodName="Get_Temp"
+//	          endpointURL="http://forecast.example/soap" namespaceURI="urn:w">
+//	  <params><param><element ref="city"/></param></params>
+//	  <return><element ref="temp"/></return>
+//	</function>
+//
+//	<functionPattern id="Forecast" predicate="UDDIF">
+//	  <params><param><element ref="city"/></param></params>
+//	  <return><element ref="temp"/></return>
+//	</functionPattern>
+//
+// Declarations compile into an internal/schema.Schema; the one-unambiguity
+// (UPA) requirement of XML Schema is enforced at the end. Parsing is
+// namespace-lenient: declarations are recognized by local name whether or
+// not they carry the XML Schema namespace.
+package xsdint
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"axml/internal/regex"
+	"axml/internal/schema"
+)
+
+// XSDNamespace is the XML Schema namespace (accepted but not required).
+const XSDNamespace = "http://www.w3.org/2001/XMLSchema"
+
+// Options configure parsing.
+type Options struct {
+	// Predicates resolves functionPattern predicate names.
+	Predicates map[string]schema.Predicate
+	// Table, when non-nil, makes the parsed schema share symbols with other
+	// schemas (required to analyze schema pairs together).
+	Table *regex.Table
+	// SkipUPACheck disables the one-unambiguity enforcement (used by tests
+	// exercising the non-deterministic complexity path).
+	SkipUPACheck bool
+}
+
+// Parse reads an XML Schema_int document.
+func Parse(r io.Reader, opt Options) (*schema.Schema, error) {
+	table := opt.Table
+	if table == nil {
+		table = regex.NewTable()
+	}
+	p := &parser{
+		dec:   xml.NewDecoder(r),
+		s:     schema.NewShared(table),
+		preds: opt.Predicates,
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	if !opt.SkipUPACheck {
+		if err := p.s.CheckDeterministic(); err != nil {
+			return nil, fmt.Errorf("xsdint: %w (XML Schema requires unique particle attribution)", err)
+		}
+	}
+	return p.s, nil
+}
+
+// ParseString parses from a string.
+func ParseString(src string, opt Options) (*schema.Schema, error) {
+	return Parse(strings.NewReader(src), opt)
+}
+
+// ParseAt parses a <schema> element that an embedding format (WSDL_int) has
+// already opened: start must be the schema start element and dec positioned
+// just after it.
+func ParseAt(dec *xml.Decoder, start xml.StartElement, opt Options) (*schema.Schema, error) {
+	if start.Name.Local != "schema" {
+		return nil, fmt.Errorf("xsdint: ParseAt on <%s>, want <schema>", start.Name.Local)
+	}
+	table := opt.Table
+	if table == nil {
+		table = regex.NewTable()
+	}
+	p := &parser{dec: dec, s: schema.NewShared(table), preds: opt.Predicates, opened: true}
+	if v := attr(start, "root"); v != "" {
+		p.s.Root = v
+	}
+	if err := p.body(); err != nil {
+		return nil, err
+	}
+	if !opt.SkipUPACheck {
+		if err := p.s.CheckDeterministic(); err != nil {
+			return nil, fmt.Errorf("xsdint: %w (XML Schema requires unique particle attribution)", err)
+		}
+	}
+	return p.s, nil
+}
+
+type parser struct {
+	dec    *xml.Decoder
+	s      *schema.Schema
+	preds  map[string]schema.Predicate
+	opened bool // the <schema> start tag was consumed by the caller
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xsdint: %s", fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run() error {
+	root, err := p.nextStart()
+	if err != nil {
+		return p.errf("no root element: %v", err)
+	}
+	if root.Name.Local != "schema" {
+		return p.errf("root element is <%s>, want <schema>", root.Name.Local)
+	}
+	if v := attr(root, "root"); v != "" {
+		p.s.Root = v
+	}
+	return p.body()
+}
+
+// body parses schema content up to the closing </schema>.
+func (p *parser) body() error {
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("truncated schema: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "element":
+				if err := p.globalElement(t); err != nil {
+					return err
+				}
+			case "function":
+				if err := p.function(t, false); err != nil {
+					return err
+				}
+			case "functionPattern":
+				if err := p.function(t, true); err != nil {
+					return err
+				}
+			case "annotation", "import", "include":
+				if err := p.skip(); err != nil {
+					return err
+				}
+			default:
+				return p.errf("unsupported top-level <%s>", t.Name.Local)
+			}
+		case xml.EndElement:
+			return nil
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return p.errf("stray text %q in schema", string(t))
+			}
+		}
+	}
+}
+
+// globalElement parses a top-level <element>.
+func (p *parser) globalElement(start xml.StartElement) error {
+	name := attr(start, "name")
+	if name == "" {
+		return p.errf("global element without name")
+	}
+	typ := attr(start, "type")
+	var content *regex.Regex
+	sawComplex := false
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("inside element %q: %v", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "complexType":
+				sawComplex = true
+				r, err := p.complexType(name)
+				if err != nil {
+					return err
+				}
+				content = r
+			case "simpleType", "annotation":
+				if err := p.skip(); err != nil {
+					return err
+				}
+			default:
+				return p.errf("element %q: unsupported <%s>", name, t.Name.Local)
+			}
+		case xml.EndElement:
+			if sawComplex {
+				return p.s.SetLabelRegex(name, content)
+			}
+			// type attribute or nothing: atomic data (the paper's model
+			// treats all simple types as one data domain).
+			_ = typ
+			return p.s.SetData(name)
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return p.errf("element %q: stray text", name)
+			}
+		}
+	}
+}
+
+// complexType parses <complexType> content: one optional particle group.
+func (p *parser) complexType(owner string) (*regex.Regex, error) {
+	content := regex.Empty()
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return nil, p.errf("complexType of %q: %v", owner, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			r, err := p.particle(t, owner)
+			if err != nil {
+				return nil, err
+			}
+			content = regex.Concat(content, r)
+		case xml.EndElement:
+			return content, nil
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return nil, p.errf("complexType of %q: stray text", owner)
+			}
+		}
+	}
+}
+
+// particle parses one content particle and applies its occurrence bounds.
+func (p *parser) particle(start xml.StartElement, owner string) (*regex.Regex, error) {
+	min, max, err := occurs(start)
+	if err != nil {
+		return nil, p.errf("%q: %v", owner, err)
+	}
+	var core *regex.Regex
+	switch start.Name.Local {
+	case "sequence", "choice":
+		var parts []*regex.Regex
+		for {
+			tok, err := p.dec.Token()
+			if err != nil {
+				return nil, p.errf("%s in %q: %v", start.Name.Local, owner, err)
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				r, err := p.particle(t, owner)
+				if err != nil {
+					return nil, err
+				}
+				parts = append(parts, r)
+			case xml.EndElement:
+				if start.Name.Local == "sequence" {
+					core = regex.Concat(parts...)
+				} else {
+					core = regex.Alt(parts...)
+				}
+				return boundedRepeat(core, min, max), nil
+			case xml.CharData:
+				if strings.TrimSpace(string(t)) != "" {
+					return nil, p.errf("%s in %q: stray text", start.Name.Local, owner)
+				}
+			}
+		}
+	case "element", "function", "functionPattern":
+		name := attr(start, "ref")
+		if name == "" {
+			name = attr(start, "name")
+		}
+		if name == "" {
+			return nil, p.errf("%q: <%s> particle without ref or name", owner, start.Name.Local)
+		}
+		if err := p.skip(); err != nil {
+			return nil, err
+		}
+		core = regex.Sym(p.s.Table.Intern(name))
+		return boundedRepeat(core, min, max), nil
+	case "any":
+		not := strings.Fields(attr(start, "not"))
+		if err := p.skip(); err != nil {
+			return nil, err
+		}
+		syms := make([]regex.Symbol, len(not))
+		for i, n := range not {
+			syms[i] = p.s.Table.Intern(n)
+		}
+		core = regex.ClassOf(regex.NewClass(true, syms...))
+		return boundedRepeat(core, min, max), nil
+	case "annotation":
+		if err := p.skip(); err != nil {
+			return nil, err
+		}
+		return regex.Empty(), nil
+	default:
+		return nil, p.errf("%q: unsupported particle <%s>", owner, start.Name.Local)
+	}
+}
+
+// boundedRepeat applies minOccurs/maxOccurs.
+func boundedRepeat(r *regex.Regex, min, max int) *regex.Regex {
+	if min == 1 && max == 1 {
+		return r
+	}
+	return regex.Repeat(r, min, max)
+}
+
+func occurs(start xml.StartElement) (min, max int, err error) {
+	min, max = 1, 1
+	if v := attr(start, "minOccurs"); v != "" {
+		min, err = strconv.Atoi(v)
+		if err != nil || min < 0 {
+			return 0, 0, fmt.Errorf("bad minOccurs %q", v)
+		}
+	}
+	if v := attr(start, "maxOccurs"); v != "" {
+		if v == "unbounded" {
+			max = regex.Unbounded
+		} else {
+			max, err = strconv.Atoi(v)
+			if err != nil || (max != regex.Unbounded && max < min) {
+				return 0, 0, fmt.Errorf("bad maxOccurs %q", v)
+			}
+		}
+	}
+	return min, max, nil
+}
+
+// function parses a <function> or <functionPattern> declaration.
+func (p *parser) function(start xml.StartElement, isPattern bool) error {
+	name := attr(start, "id")
+	if name == "" {
+		name = attr(start, "methodName")
+	}
+	if name == "" {
+		return p.errf("function declaration without id or methodName")
+	}
+	var in, out *regex.Regex
+	inIsData, outIsData := true, true
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("function %q: %v", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "params":
+				r, some, err := p.params(name)
+				if err != nil {
+					return err
+				}
+				in, inIsData = r, !some
+			case "return", "result":
+				r, err := p.wrapperParticle(name)
+				if err != nil {
+					return err
+				}
+				out, outIsData = r, false
+			case "annotation":
+				if err := p.skip(); err != nil {
+					return err
+				}
+			default:
+				return p.errf("function %q: unsupported <%s>", name, t.Name.Local)
+			}
+		case xml.EndElement:
+			return p.declare(start, name, in, inIsData, out, outIsData, isPattern)
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return p.errf("function %q: stray text", name)
+			}
+		}
+	}
+}
+
+func (p *parser) declare(start xml.StartElement, name string, in *regex.Regex, inIsData bool, out *regex.Regex, outIsData bool, isPattern bool) error {
+	if inIsData {
+		in = nil
+	}
+	if outIsData {
+		out = nil
+	}
+	if isPattern {
+		var pred schema.Predicate
+		predName := attr(start, "predicate")
+		if predName == "" {
+			predName = attr(start, "methodName")
+		}
+		if predName != "" {
+			pred = p.preds[predName]
+			if pred == nil {
+				return p.errf("functionPattern %q: unknown predicate %q", name, predName)
+			}
+		}
+		if err := p.s.SetPattern(name, "data", "data", pred); err != nil {
+			return err
+		}
+		d := p.s.Patterns[name]
+		d.In, d.Out = in, out
+		if attr(start, "invocable") == "false" {
+			d.Invocable = false
+		}
+		return nil
+	}
+	err := p.s.SetFuncDef(name, "data", "data", func(d *schema.FuncDef) {
+		d.Endpoint = attr(start, "endpointURL")
+		d.Namespace = attr(start, "namespaceURI")
+		if attr(start, "invocable") == "false" {
+			d.Invocable = false
+		}
+		if attr(start, "sideEffects") == "true" {
+			d.SideEffects = true
+		}
+		if v := attr(start, "cost"); v != "" {
+			if c, err := strconv.ParseFloat(v, 64); err == nil {
+				d.Cost = c
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	d := p.s.Funcs[name]
+	d.In, d.Out = in, out
+	return nil
+}
+
+// params parses <params> as a sequence of <param> wrappers; the input type
+// is the concatenation of the per-param particles. some reports whether any
+// param appeared (no params means atomic data input).
+func (p *parser) params(owner string) (*regex.Regex, bool, error) {
+	parts := []*regex.Regex{}
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return nil, false, p.errf("params of %q: %v", owner, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "param" {
+				return nil, false, p.errf("params of %q: unexpected <%s>", owner, t.Name.Local)
+			}
+			r, err := p.wrapperParticle(owner)
+			if err != nil {
+				return nil, false, err
+			}
+			parts = append(parts, r)
+		case xml.EndElement:
+			if len(parts) == 0 {
+				return nil, false, nil
+			}
+			return regex.Concat(parts...), true, nil
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return nil, false, p.errf("params of %q: stray text", owner)
+			}
+		}
+	}
+}
+
+// wrapperParticle parses the content of a wrapper element (param, return)
+// as a particle sequence up to the wrapper's end tag.
+func (p *parser) wrapperParticle(owner string) (*regex.Regex, error) {
+	parts := []*regex.Regex{}
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return nil, p.errf("inside %q: %v", owner, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			r, err := p.particle(t, owner)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, r)
+		case xml.EndElement:
+			return regex.Concat(parts...), nil
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				return nil, p.errf("inside %q: stray text", owner)
+			}
+		}
+	}
+}
+
+// skip consumes the current element's remaining content.
+func (p *parser) skip() error {
+	depth := 1
+	for depth > 0 {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("truncated element: %v", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+		}
+	}
+	return nil
+}
+
+func (p *parser) nextStart() (xml.StartElement, error) {
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return xml.StartElement{}, err
+		}
+		if s, ok := tok.(xml.StartElement); ok {
+			return s, nil
+		}
+	}
+}
+
+func attr(start xml.StartElement, name string) string {
+	for _, a := range start.Attr {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,368 @@
+package xsdint
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/doc"
+	"axml/internal/regex"
+	"axml/internal/schema"
+)
+
+// paperXSD is the newspaper schema of Section 7 in XML Schema_int syntax,
+// including the Forecast function pattern.
+const paperXSD = `
+<schema xmlns="http://www.w3.org/2001/XMLSchema" root="newspaper">
+  <element name="newspaper">
+    <complexType>
+      <sequence>
+        <element ref="title"/>
+        <element ref="date"/>
+        <choice>
+          <functionPattern ref="Forecast"/>
+          <element ref="temp"/>
+        </choice>
+        <choice>
+          <function ref="TimeOut"/>
+          <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/>
+        </choice>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="title" type="xs:string"/>
+  <element name="date" type="xs:string"/>
+  <element name="temp" type="xs:string"/>
+  <element name="city" type="xs:string"/>
+  <element name="exhibit">
+    <complexType>
+      <sequence>
+        <element ref="title"/>
+        <choice>
+          <function ref="Get_Date"/>
+          <element ref="date"/>
+        </choice>
+      </sequence>
+    </complexType>
+  </element>
+  <function id="Get_Temp" methodName="Get_Temp"
+            endpointURL="http://www.forecast.com/soap" namespaceURI="urn:xmethods-weather">
+    <params><param><element ref="city"/></param></params>
+    <return><element ref="temp"/></return>
+  </function>
+  <function id="TimeOut" methodName="TimeOut" endpointURL="http://www.timeout.com/paris">
+    <params></params>
+    <return>
+      <choice minOccurs="0" maxOccurs="unbounded">
+        <element ref="exhibit"/>
+        <element ref="performance"/>
+      </choice>
+    </return>
+  </function>
+  <function id="Get_Date" methodName="Get_Date">
+    <params><param><element ref="title"/></param></params>
+    <return><element ref="date"/></return>
+  </function>
+  <functionPattern id="Forecast" predicate="UDDIF">
+    <params><param><element ref="city"/></param></params>
+    <return><element ref="temp"/></return>
+  </functionPattern>
+</schema>
+`
+
+func parsePaper(t *testing.T) *schema.Schema {
+	t.Helper()
+	preds := map[string]schema.Predicate{
+		"UDDIF": func(name string, in, out *regex.Regex) bool {
+			return strings.HasPrefix(name, "Get_")
+		},
+	}
+	s, err := ParseString(paperXSD, Options{Predicates: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParsePaperSchema(t *testing.T) {
+	s := parsePaper(t)
+	if s.Root != "newspaper" {
+		t.Errorf("root = %q", s.Root)
+	}
+	if len(s.Labels) != 6 || len(s.Funcs) != 3 || len(s.Patterns) != 1 {
+		t.Fatalf("decls: %d labels %d funcs %d patterns", len(s.Labels), len(s.Funcs), len(s.Patterns))
+	}
+	if !s.Labels["title"].IsData() {
+		t.Error("title should be data")
+	}
+	np := s.Labels["newspaper"]
+	if np.IsData() {
+		t.Fatal("newspaper should be structured")
+	}
+	want := "title.date.(Forecast|temp).(TimeOut|exhibit*)"
+	if got := np.Content.String(s.Table); got != want {
+		// Structure may differ (e.g. exhibit{0,} vs exhibit*); compare by
+		// language on representative words instead of failing outright.
+		c := schema.NewContext(s, nil)
+		okDoc := doc.Elem("newspaper",
+			doc.Elem("title"), doc.Elem("date"), doc.Elem("temp"),
+			doc.Elem("exhibit", doc.Elem("title"), doc.Elem("date")))
+		if err := c.Validate(okDoc); err != nil {
+			t.Errorf("content model %q does not accept the expected document: %v", got, err)
+		}
+	}
+	gt := s.Funcs["Get_Temp"]
+	if gt.Endpoint != "http://www.forecast.com/soap" || gt.Namespace != "urn:xmethods-weather" {
+		t.Errorf("Get_Temp attrs: %+v", gt)
+	}
+	if gt.In.String(s.Table) != "city" || gt.Out.String(s.Table) != "temp" {
+		t.Errorf("Get_Temp signature: %s -> %s", gt.In.String(s.Table), gt.Out.String(s.Table))
+	}
+	if s.Funcs["TimeOut"].In != nil {
+		t.Error("TimeOut should take atomic data (empty params)")
+	}
+	p := s.Patterns["Forecast"]
+	if p == nil || p.Pred == nil {
+		t.Fatal("Forecast pattern or predicate missing")
+	}
+	if !p.Pred("Get_Anything", nil, nil) || p.Pred("Rogue", nil, nil) {
+		t.Error("predicate not wired")
+	}
+}
+
+func TestParsedSchemaValidatesPaperDocument(t *testing.T) {
+	s := parsePaper(t)
+	c := schema.NewContext(s, nil)
+	n := doc.Elem("newspaper",
+		doc.Elem("title", doc.TextNode("The Sun")),
+		doc.Elem("date", doc.TextNode("04/10/2002")),
+		doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))),
+		doc.Call("TimeOut", doc.TextNode("exhibits")),
+	)
+	if err := c.Validate(n); err != nil {
+		t.Errorf("paper document rejected: %v", err)
+	}
+	// Get_Temp matches via the Forecast pattern (predicate passes, signature
+	// equal); a wrong-signature function must not.
+	bad := n.Clone()
+	bad.Children[2] = doc.Call("Get_Date", doc.Elem("title")) // returns date, not temp
+	if err := c.Validate(bad); err == nil {
+		t.Error("Get_Date should not match the Forecast slot")
+	}
+}
+
+func TestUPAEnforcement(t *testing.T) {
+	src := `
+<schema>
+  <element name="a">
+    <complexType>
+      <sequence>
+        <element ref="b" minOccurs="0" maxOccurs="unbounded"/>
+        <element ref="b"/>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="b" type="xs:string"/>
+</schema>`
+	if _, err := ParseString(src, Options{}); err == nil {
+		t.Fatal("b*.b must violate UPA")
+	}
+	if _, err := ParseString(src, Options{SkipUPACheck: true}); err != nil {
+		t.Fatalf("SkipUPACheck should accept it: %v", err)
+	}
+}
+
+func TestOccursBounds(t *testing.T) {
+	src := `
+<schema>
+  <element name="a">
+    <complexType>
+      <sequence>
+        <element ref="b" minOccurs="2" maxOccurs="4"/>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="b" type="xs:string"/>
+</schema>`
+	s, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := schema.NewContext(s, nil)
+	mk := func(n int) *doc.Node {
+		kids := make([]*doc.Node, n)
+		for i := range kids {
+			kids[i] = doc.Elem("b")
+		}
+		return doc.Elem("a", kids...)
+	}
+	for n := 0; n <= 6; n++ {
+		err := c.Validate(mk(n))
+		want := n >= 2 && n <= 4
+		if (err == nil) != want {
+			t.Errorf("b{2,4}: n=%d got err=%v", n, err)
+		}
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	src := `
+<schema>
+  <element name="a">
+    <complexType>
+      <sequence>
+        <any not="b" minOccurs="0" maxOccurs="unbounded"/>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="b" type="xs:string"/>
+</schema>`
+	s, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := schema.NewContext(s, nil)
+	if err := c.Validate(doc.Elem("a", doc.Elem("zzz"), doc.Elem("www"))); err != nil {
+		t.Errorf("wildcard should admit foreign elements: %v", err)
+	}
+	if err := c.Validate(doc.Elem("a", doc.Elem("b"))); err == nil {
+		t.Error("excluded b admitted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<notschema/>`,
+		`<schema><element/></schema>`, // nameless element
+		`<schema><element name="a"><complexType><bogus/></complexType></element></schema>`,
+		`<schema><function><params/></function></schema>`, // nameless function
+		`<schema><functionPattern id="p" predicate="nope"/></schema>`,
+		`<schema><element name="a"><complexType><sequence><element/></sequence></complexType></element></schema>`,
+		`<schema><element name="a"><complexType><sequence><element ref="b" minOccurs="-1"/></sequence></complexType></element></schema>`,
+		`<schema><element name="a"><complexType><sequence><element ref="b" minOccurs="3" maxOccurs="2"/></sequence></complexType></element></schema>`,
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src, Options{}); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	s := parsePaper(t)
+	out, err := String(s, map[string]string{"Forecast": "UDDIF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := map[string]schema.Predicate{
+		"UDDIF": func(name string, in, out *regex.Regex) bool { return true },
+	}
+	s2, err := ParseString(out, Options{Predicates: preds})
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	if len(s2.Labels) != len(s.Labels) || len(s2.Funcs) != len(s.Funcs) || len(s2.Patterns) != len(s.Patterns) {
+		t.Fatalf("round trip lost declarations:\n%s", out)
+	}
+	// Language-level agreement of every content model and signature.
+	for name, d := range s.Labels {
+		d2 := s2.Labels[name]
+		if d2 == nil || d.IsData() != d2.IsData() {
+			t.Fatalf("label %q changed", name)
+		}
+		if !d.IsData() && !sameLanguage(t, s, d.Content, s2, d2.Content) {
+			t.Errorf("label %q content changed: %s vs %s",
+				name, d.Content.String(s.Table), d2.Content.String(s2.Table))
+		}
+	}
+	for name, d := range s.Funcs {
+		d2 := s2.Funcs[name]
+		if d2 == nil {
+			t.Fatalf("function %q lost", name)
+		}
+		if d.Endpoint != d2.Endpoint || d.Namespace != d2.Namespace {
+			t.Errorf("function %q attrs changed", name)
+		}
+		if !sameLanguage(t, s, d.Out, s2, d2.Out) {
+			t.Errorf("function %q output type changed", name)
+		}
+	}
+}
+
+// sameLanguage compares two content models by sampling words from each and
+// cross-checking membership (symbols resolved by name across tables).
+func sameLanguage(t *testing.T, s1 *schema.Schema, r1 *regex.Regex, s2 *schema.Schema, r2 *regex.Regex) bool {
+	t.Helper()
+	if (r1 == nil) != (r2 == nil) {
+		return false
+	}
+	if r1 == nil {
+		return true
+	}
+	translate := func(from, to *schema.Schema, w []regex.Symbol) []regex.Symbol {
+		out := make([]regex.Symbol, len(w))
+		for i, sym := range w {
+			out[i] = to.Table.Intern(from.Table.Name(sym))
+		}
+		return out
+	}
+	w1, ok1 := regex.ShortestWord(r1)
+	w2, ok2 := regex.ShortestWord(r2)
+	if ok1 != ok2 {
+		return false
+	}
+	if ok1 && (!regex.Match(r2, translate(s1, s2, w1)) || !regex.Match(r1, translate(s2, s1, w2))) {
+		return false
+	}
+	return true
+}
+
+func TestRoundTripOptionsAttrs(t *testing.T) {
+	src := `
+<schema>
+  <element name="receipt" type="xs:string"/>
+  <function id="Pay" invocable="false" sideEffects="true" cost="2.5">
+    <return><element ref="receipt"/></return>
+  </function>
+</schema>`
+	s, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Funcs["Pay"]
+	if d.Invocable || !d.SideEffects || d.Cost != 2.5 {
+		t.Fatalf("attrs: %+v", d)
+	}
+	out, err := String(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseString(out, Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	d2 := s2.Funcs["Pay"]
+	if d2.Invocable || !d2.SideEffects || d2.Cost != 2.5 {
+		t.Errorf("attrs lost in round trip: %+v", d2)
+	}
+}
+
+func TestSharedTable(t *testing.T) {
+	table := regex.NewTable()
+	s1, err := ParseString(`<schema><element name="a" type="xs:string"/></schema>`, Options{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseString(`<schema><element name="a" type="xs:string"/></schema>`, Options{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Table != s2.Table {
+		t.Error("tables not shared")
+	}
+	sym1, _ := s1.Table.Lookup("a")
+	sym2, _ := s2.Table.Lookup("a")
+	if sym1 != sym2 {
+		t.Error("symbols diverged")
+	}
+}

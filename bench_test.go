@@ -297,3 +297,73 @@ func Front = data -> page
 		}
 	}
 }
+
+// E-C9: the enforcement cache under parallel load. Every iteration is one
+// full SendDocument (fork automaton + safe product on a miss; memo hits
+// afterwards) over a shared peer, as when one peer serves many concurrent
+// SOAP exchanges. Should scale with GOMAXPROCS: the cached analysis is
+// read-shared, not rebuilt or lock-serialized per message.
+func BenchmarkEnforcementCacheParallel(b *testing.B) {
+	s := schema.MustParseText(`
+root newspaper
+elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)
+elem title = data
+elem date = data
+elem temp = data
+elem city = data
+elem exhibit = title.date
+elem performance = data
+func Get_Temp = city -> temp
+func TimeOut = data -> (exhibit|performance)*
+`, nil)
+	p := peer.New("bench", s)
+	if err := p.Repo.Put("today", doc.Elem("newspaper",
+		doc.Elem("title", doc.TextNode("The Sun")),
+		doc.Elem("date", doc.TextNode("04/10/2002")),
+		doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))),
+		doc.Call("TimeOut", doc.TextNode("exhibits")),
+	)); err != nil {
+		b.Fatal(err)
+	}
+	register := func(name string, h service.Handler) {
+		if err := p.Services.Register(&service.Operation{Name: name, Def: s.Funcs[name], Handler: h}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	register("Get_Temp", func([]*doc.Node) ([]*doc.Node, error) {
+		return []*doc.Node{doc.Elem("temp", doc.TextNode("15"))}, nil
+	})
+	register("TimeOut", func([]*doc.Node) ([]*doc.Node, error) {
+		return []*doc.Node{doc.Elem("exhibit",
+			doc.Elem("title", doc.TextNode("Dali")),
+			doc.Elem("date", doc.TextNode("2002")))}, nil
+	})
+	exch, err := schema.ParseTextShared(schema.NewShared(s.Table), `
+root newspaper
+elem newspaper = title.date.temp.(TimeOut|exhibit*)
+elem title = data
+elem date = data
+elem temp = data
+elem city = data
+elem exhibit = title.date
+elem performance = data
+func Get_Temp = city -> temp
+func TimeOut = data -> (exhibit|performance)*
+`, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			out, err := p.SendDocument("today", exch, core.Safe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.ChildLabels()[2] != "temp" {
+				b.Fatal("enforcement did not materialize Get_Temp")
+			}
+		}
+	})
+}

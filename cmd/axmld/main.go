@@ -49,6 +49,9 @@ func run() error {
 	mode := flag.String("mode", "safe", "default enforcement mode: safe | possible | mixed")
 	simSeed := flag.Int64("sim", -1, "register simulated implementations for all declared functions, with this seed")
 	endpoint := flag.String("public", "", "public endpoint URL advertised in WSDL (default http://<addr>/soap)")
+	cacheSize := flag.Int("cache", core.DefaultCompiledCacheSize, "max compiled schema-pair analyses kept per peer")
+	wordCacheSize := flag.Int("word-cache", core.DefaultWordCacheSize, "max word-level verdicts memoized per analysis (negative disables)")
+	maxRequest := flag.Int64("max-request", soap.DefaultMaxRequestBytes, "max SOAP request body bytes (negative disables the limit)")
 	flag.Parse()
 
 	if *schemaPath == "" {
@@ -79,6 +82,9 @@ func run() error {
 		}
 	}
 	p.Remote = &soap.Invoker{}
+	p.Enforcement = core.NewCompiledCache(*cacheSize)
+	p.Enforcement.WordCacheCapacity = *wordCacheSize
+	p.MaxRequestBytes = *maxRequest
 
 	if *docsDir != "" {
 		if err := p.Repo.LoadDir(*docsDir); err != nil {

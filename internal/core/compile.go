@@ -26,6 +26,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"axml/internal/regex"
 	"axml/internal/schema"
@@ -36,6 +38,12 @@ import (
 // function information, the effective alphabet, and target content models
 // with function patterns expanded into alternations of the declared
 // functions that match them.
+//
+// A Compiled is safe for concurrent use once Compile returns: funcs and
+// alphabet are frozen, the pattern-expansion memo is lock-guarded, the lazy
+// engine's derivative table is itself concurrency-safe, and the word-verdict
+// memo (wordcache.go) is bounded and lock-guarded. Peers rely on this to
+// serve parallel requests from one cached analysis.
 type Compiled struct {
 	Table  *regex.Table
 	Sender *schema.Schema
@@ -43,7 +51,15 @@ type Compiled struct {
 
 	funcs    map[regex.Symbol]*FuncInfo
 	alphabet []regex.Symbol
-	expanded map[string]*regex.Regex // memo: expandPatterns by regex key
+
+	expandedMu sync.RWMutex
+	expanded   map[string]*regex.Regex // memo: expandPatterns by regex key
+
+	// deriver is shared by every lazy analysis over this pair, so derivative
+	// tables of the target content models are computed once.
+	deriver *regex.Deriver
+	// words memoizes word-level verdicts; see wordcache.go.
+	words atomic.Pointer[wordCacheBox]
 }
 
 // FuncInfo is the word-level view of a function or function-pattern symbol.
@@ -78,7 +94,9 @@ func Compile(sender, target *schema.Schema) *Compiled {
 		Target:   target,
 		funcs:    make(map[regex.Symbol]*FuncInfo),
 		expanded: make(map[string]*regex.Regex),
+		deriver:  regex.NewDeriver(),
 	}
+	c.words.Store(&wordCacheBox{wc: newWordCache(DefaultWordCacheSize)})
 	// Declared functions: the target's view wins on policy (invocability),
 	// because the exchange schema is where §2.1 restrictions live, but
 	// signatures may come from either side (they agree by assumption).
@@ -165,7 +183,11 @@ func (c *Compiled) ExpandPatterns(r *regex.Regex) *regex.Regex {
 	if len(c.Target.Patterns) == 0 && len(c.Sender.Patterns) == 0 {
 		return r
 	}
-	if memo, ok := c.expanded[r.Key()]; ok {
+	key := r.Key()
+	c.expandedMu.RLock()
+	memo, ok := c.expanded[key]
+	c.expandedMu.RUnlock()
+	if ok {
 		return memo
 	}
 	subst := make(map[regex.Symbol]*regex.Regex)
@@ -198,9 +220,18 @@ func (c *Compiled) ExpandPatterns(r *regex.Regex) *regex.Regex {
 		expandInto(c.Sender, pname)
 	}
 	out := substitute(r, subst)
-	c.expanded[r.Key()] = out
+	c.expandedMu.Lock()
+	defer c.expandedMu.Unlock()
+	if prev, ok := c.expanded[key]; ok {
+		return prev // a racing expansion published first; keep it canonical
+	}
+	c.expanded[key] = out
 	return out
 }
+
+// Deriver returns the shared, concurrency-safe derivative table lazy
+// analyses over this pair use.
+func (c *Compiled) Deriver() *regex.Deriver { return c.deriver }
 
 // substitute replaces symbol leaves per the map, leaving everything else
 // untouched.

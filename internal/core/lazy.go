@@ -73,7 +73,7 @@ func LazySafe(c *Compiled, tokens []Token, target *regex.Regex, k int) (*LazyRes
 	expanded := c.ExpandPatterns(target)
 	ls := &lazySafe{
 		fork:    fork,
-		deriver: regex.NewDeriver(),
+		deriver: c.Deriver(),
 		fresh:   freshSymbol(c.Table, expanded),
 		index:   map[string]int{},
 	}
@@ -286,7 +286,7 @@ func LazyPossible(c *Compiled, tokens []Token, target *regex.Regex, k int) (*Laz
 		return nil, err
 	}
 	expanded := c.ExpandPatterns(target)
-	deriver := regex.NewDeriver()
+	deriver := c.Deriver()
 	fresh := freshSymbol(c.Table, expanded)
 	type key struct {
 		q int

@@ -82,9 +82,18 @@ type Rewriter struct {
 	ctx *schema.Context
 }
 
-// NewRewriter builds a rewriter for the (sender, target) schema pair.
+// NewRewriter builds a rewriter for the (sender, target) schema pair,
+// compiling the pair analysis from scratch. Callers serving many messages
+// over the same pair should compile once (or use a CompiledCache) and build
+// per-message rewriters with NewRewriterFor.
 func NewRewriter(sender, target *schema.Schema, k int, inv Invoker) *Rewriter {
-	c := Compile(sender, target)
+	return NewRewriterFor(Compile(sender, target), k, inv)
+}
+
+// NewRewriterFor builds a rewriter over an existing compiled analysis. The
+// rewriter itself is cheap per-message state; the Compiled may be shared by
+// any number of concurrent rewriters.
+func NewRewriterFor(c *Compiled, k int, inv Invoker) *Rewriter {
 	return &Rewriter{
 		Compiled:        c,
 		K:               k,
@@ -92,7 +101,7 @@ func NewRewriter(sender, target *schema.Schema, k int, inv Invoker) *Rewriter {
 		ValidateReturns: true,
 		StrictParams:    true,
 		MaxCalls:        10000,
-		ctx:             schema.NewContext(target, sender),
+		ctx:             schema.NewContext(c.Target, c.Sender),
 	}
 }
 
@@ -100,27 +109,12 @@ func NewRewriter(sender, target *schema.Schema, k int, inv Invoker) *Rewriter {
 // signatures).
 func (rw *Rewriter) Context() *schema.Context { return rw.ctx }
 
-// wordOK dispatches the word-level verdict for the configured engine.
+// wordOK dispatches the word-level verdict for the configured engine,
+// through the Compiled's word-verdict memo: the verdict depends only on the
+// token word, target, k, mode and engine, so repeated words across messages
+// skip the automata constructions entirely.
 func (rw *Rewriter) wordOK(tokens []Token, target *regex.Regex, mode Mode) (bool, error) {
-	switch rw.Engine {
-	case Lazy:
-		var res *LazyResult
-		var err error
-		if mode == Possible {
-			res, err = LazyPossible(rw.Compiled, tokens, target, rw.K)
-		} else {
-			res, err = LazySafe(rw.Compiled, tokens, target, rw.K)
-		}
-		if err != nil {
-			return false, err
-		}
-		return res.Verdict, nil
-	default:
-		if mode == Possible {
-			return WordPossible(rw.Compiled, tokens, target, rw.K)
-		}
-		return WordSafe(rw.Compiled, tokens, target, rw.K)
-	}
+	return rw.Compiled.WordVerdict(rw.Engine, mode, tokens, target, rw.K)
 }
 
 // ---------------------------------------------------------------------------

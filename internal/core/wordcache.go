@@ -1,0 +1,217 @@
+package core
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"axml/internal/regex"
+)
+
+// DefaultWordCacheSize bounds the per-Compiled word-verdict memo: how many
+// distinct (word, target, k, mode, engine) analyses are remembered before
+// least-recently-used verdicts are evicted.
+const DefaultWordCacheSize = 4096
+
+// wordCache memoizes word-level rewriting verdicts for one Compiled. The
+// verdict of WordSafe / WordPossible / LazySafe / LazyPossible is a pure
+// function of the token word (symbols, depths, freezing), the target content
+// model, the depth bound, the mode and the engine — never of the document
+// nodes behind the tokens — so one peer serving many messages over the same
+// schema pair keeps answering repeated words from the memo instead of
+// rebuilding fork automata and products.
+type wordCache struct {
+	// mu guards entries/lru. The memo is consulted on every word of every
+	// message, so hits take only the read lock: recency updates happen
+	// opportunistically (when the exclusive lock is free) and on writes.
+	mu       sync.RWMutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used; values are *wordEntry
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type wordEntry struct {
+	key     string
+	verdict bool
+}
+
+func newWordCache(capacity int) *wordCache {
+	if capacity <= 0 {
+		return nil // disabled
+	}
+	return &wordCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func (wc *wordCache) get(key string) (bool, bool) {
+	if wc == nil {
+		return false, false
+	}
+	wc.mu.RLock()
+	el, ok := wc.entries[key]
+	var verdict bool
+	if ok {
+		verdict = el.Value.(*wordEntry).verdict
+	}
+	wc.mu.RUnlock()
+	if !ok {
+		wc.misses.Add(1)
+		return false, false
+	}
+	wc.hits.Add(1)
+	if wc.mu.TryLock() {
+		// MoveToFront is a no-op if a racing eviction already removed el.
+		if el, still := wc.entries[key]; still {
+			wc.lru.MoveToFront(el)
+		}
+		wc.mu.Unlock()
+	}
+	return verdict, true
+}
+
+func (wc *wordCache) put(key string, verdict bool) {
+	if wc == nil {
+		return
+	}
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if el, ok := wc.entries[key]; ok {
+		wc.lru.MoveToFront(el) // a racing goroutine computed the same verdict
+		return
+	}
+	el := wc.lru.PushFront(&wordEntry{key: key, verdict: verdict})
+	wc.entries[key] = el
+	for wc.lru.Len() > wc.capacity {
+		oldest := wc.lru.Back()
+		wc.lru.Remove(oldest)
+		delete(wc.entries, oldest.Value.(*wordEntry).key)
+		wc.evictions.Add(1)
+	}
+}
+
+func (wc *wordCache) stats() CacheStats {
+	if wc == nil {
+		return CacheStats{}
+	}
+	wc.mu.RLock()
+	size := wc.lru.Len()
+	wc.mu.RUnlock()
+	return CacheStats{
+		Hits:      wc.hits.Load(),
+		Misses:    wc.misses.Load(),
+		Evictions: wc.evictions.Load(),
+		Size:      size,
+	}
+}
+
+// wordKey serializes everything a word-level verdict depends on. Token.Node
+// is deliberately excluded: it back-references the document and never
+// influences the automata.
+func wordKey(engine EngineKind, mode Mode, tokens []Token, target *regex.Regex, k int) string {
+	var b strings.Builder
+	b.Grow(len(tokens)*8 + 32)
+	b.WriteByte(byte('0' + engine))
+	if mode == Possible {
+		b.WriteByte('p')
+	} else {
+		b.WriteByte('s') // Safe and Mixed share the safe word analysis
+	}
+	b.WriteString(strconv.Itoa(k))
+	b.WriteByte('|')
+	for _, t := range tokens {
+		b.WriteString(strconv.Itoa(int(t.Sym)))
+		if t.Depth != 0 {
+			b.WriteByte('@')
+			b.WriteString(strconv.Itoa(t.Depth))
+		}
+		if t.Frozen {
+			b.WriteByte('!')
+		}
+		if t.MustCall {
+			b.WriteByte('^')
+		}
+		b.WriteByte('.')
+	}
+	b.WriteByte('|')
+	b.WriteString(target.Key())
+	return b.String()
+}
+
+// WordVerdict answers the word-level rewriting question through the memo:
+// does the token word rewrite into target within depth k, under the given
+// mode and engine? Cache misses run the same analyses the uncached entry
+// points do; errors (oversized fork automata) are never cached.
+func (c *Compiled) WordVerdict(engine EngineKind, mode Mode, tokens []Token, target *regex.Regex, k int) (bool, error) {
+	wc := c.loadWordCache()
+	var key string
+	if wc != nil {
+		key = wordKey(engine, mode, tokens, target, k)
+		if v, ok := wc.get(key); ok {
+			return v, nil
+		}
+	}
+	var verdict bool
+	var err error
+	switch engine {
+	case Lazy:
+		var res *LazyResult
+		if mode == Possible {
+			res, err = LazyPossible(c, tokens, target, k)
+		} else {
+			res, err = LazySafe(c, tokens, target, k)
+		}
+		if err == nil {
+			verdict = res.Verdict
+		}
+	default:
+		if mode == Possible {
+			verdict, err = WordPossible(c, tokens, target, k)
+		} else {
+			verdict, err = WordSafe(c, tokens, target, k)
+		}
+	}
+	if err != nil {
+		return false, err
+	}
+	if wc != nil {
+		wc.put(key, verdict)
+	}
+	return verdict, nil
+}
+
+// WordCacheStats snapshots the word-verdict memo counters.
+func (c *Compiled) WordCacheStats() CacheStats {
+	return c.loadWordCache().stats()
+}
+
+// SetWordCacheCapacity replaces the word-verdict memo with a fresh one of
+// the given capacity; negative disables memoization. Existing verdicts are
+// dropped. Safe to call concurrently with readers.
+func (c *Compiled) SetWordCacheCapacity(capacity int) {
+	if capacity < 0 {
+		c.words.Store(&wordCacheBox{})
+		return
+	}
+	if capacity == 0 {
+		capacity = DefaultWordCacheSize
+	}
+	c.words.Store(&wordCacheBox{wc: newWordCache(capacity)})
+}
+
+// wordCacheBox wraps the nillable cache so atomic.Pointer always stores a
+// non-nil value ("disabled" is a box holding nil).
+type wordCacheBox struct{ wc *wordCache }
+
+func (c *Compiled) loadWordCache() *wordCache {
+	if box := c.words.Load(); box != nil {
+		return box.wc
+	}
+	return nil
+}

@@ -76,6 +76,67 @@ func TestConcurrentEnforcement(t *testing.T) {
 	if got := p.Audit.Len(); got != 8*20 {
 		t.Errorf("audit = %d calls, want 160", got)
 	}
+	// The tentpole guarantee: 160 exchanges over one schema pair compile the
+	// pair analysis exactly once.
+	if st := p.Enforcement.Stats(); st.Misses != 1 {
+		t.Errorf("core.Compile ran %d times for one schema pair, want 1 (%s)", st.Misses, st)
+	}
+	if ws := p.Enforcement.WordStats(); ws.Hits == 0 {
+		t.Errorf("word-verdict memo never hit across 160 identical exchanges (%s)", ws)
+	}
+}
+
+// TestConcurrentEnforcementMixedTargets interleaves SendDocument and
+// EnforceIn over distinct schema pairs; the cache must compile once per
+// distinct pair, not per message. Run with -race.
+func TestConcurrentEnforcementMixedTargets(t *testing.T) {
+	p := newsPeer(t)
+	exchText := func(mid string) string {
+		return strings.Replace(newspaperSchema,
+			"elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+			"elem newspaper = title.date."+mid+".(TimeOut|exhibit*)", 1)
+	}
+	exchA, err := schema.ParseTextShared(schema.NewShared(p.Schema.Table), exchText("temp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchB, err := schema.ParseTextShared(schema.NewShared(p.Schema.Table), exchText("(Get_Temp|temp)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 9; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 15; j++ {
+				switch i % 3 {
+				case 0:
+					if _, err := p.SendDocument("today", exchA, core.Safe); err != nil {
+						t.Errorf("send A: %v", err)
+						return
+					}
+				case 1:
+					if _, err := p.SendDocument("today", exchB, core.Safe); err != nil {
+						t.Errorf("send B: %v", err)
+						return
+					}
+				default:
+					params := []*doc.Node{doc.Elem("city", doc.TextNode("Paris"))}
+					if _, err := p.EnforceIn("Get_Temp", params); err != nil {
+						t.Errorf("enforce in: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Distinct pairs touched: (p.Schema, exchA), (p.Schema, exchB). EnforceIn
+	// conforms as-is here, so it never reaches the rewriter.
+	if st := p.Enforcement.Stats(); st.Misses != 2 {
+		t.Errorf("core.Compile ran %d times for 2 distinct schema pairs (%s)", st.Misses, st)
+	}
 }
 
 // TestConcurrentHTTPExchange hits /exchange from many clients at once; every

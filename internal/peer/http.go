@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -22,17 +23,20 @@ import (
 //	                         XML Schema_int exchange schema; the response is
 //	                         the document rewritten to conform to it.
 //	                         ?mode=safe|possible|mixed (default: the peer's)
+//	GET  /stats            — enforcement-cache and audit counters, as JSON
 func (p *Peer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/soap", &soap.Server{
-		Registry:   p.Services,
-		Namespace:  "urn:axml:" + p.Name,
-		OnRequest:  p.EnforceIn,
-		OnResponse: p.EnforceOut,
+		Registry:        p.Services,
+		Namespace:       "urn:axml:" + p.Name,
+		OnRequest:       p.EnforceIn,
+		OnResponse:      p.EnforceOut,
+		MaxRequestBytes: p.MaxRequestBytes,
 	})
 	mux.HandleFunc("/wsdl", p.handleWSDL)
 	mux.HandleFunc("/doc/", p.handleDoc)
 	mux.HandleFunc("/exchange/", p.handleExchange)
+	mux.HandleFunc("/stats", p.handleStats)
 	return mux
 }
 
@@ -99,4 +103,24 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	_ = xmlio.Write(w, out)
+}
+
+// handleStats reports the enforcement cache's effectiveness: compile-cache
+// hits and misses (misses == core.Compile runs since start), the aggregated
+// word-verdict memo counters, and the invocation audit size.
+func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	compiled := p.Enforcement.Stats()
+	words := p.Enforcement.WordStats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"peer":          p.Name,
+		"documents":     p.Repo.Len(),
+		"compile_cache": compiled,
+		"word_cache":    words,
+		"invocations":   p.Audit.Len(),
+	})
 }

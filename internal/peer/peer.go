@@ -34,18 +34,28 @@ type Peer struct {
 	Endpoint string
 	// Audit records every invocation made by enforcement rewritings.
 	Audit *core.Audit
+	// Enforcement caches compiled schema-pair analyses (core.Compile plus
+	// the word-level products and markings) across messages: safe rewriting
+	// depends only on the schema pair, depth bound and mode — never on the
+	// document — so one peer serving heavy traffic pays the analysis once
+	// per distinct pair instead of once per request.
+	Enforcement *core.CompiledCache
+	// MaxRequestBytes caps SOAP request bodies accepted by Handler; 0
+	// selects soap.DefaultMaxRequestBytes, negative disables the limit.
+	MaxRequestBytes int64
 }
 
 // New creates a peer over the given schema.
 func New(name string, s *schema.Schema) *Peer {
 	return &Peer{
-		Name:     name,
-		Schema:   s,
-		Repo:     NewRepository(),
-		Services: service.NewRegistry(),
-		K:        2,
-		Mode:     core.Safe,
-		Audit:    &core.Audit{},
+		Name:        name,
+		Schema:      s,
+		Repo:        NewRepository(),
+		Services:    service.NewRegistry(),
+		K:           2,
+		Mode:        core.Safe,
+		Audit:       &core.Audit{},
+		Enforcement: core.NewCompiledCache(core.DefaultCompiledCacheSize),
 	}
 }
 
@@ -59,9 +69,11 @@ func (p *Peer) Invoker() core.Invoker {
 }
 
 // rewriter builds an enforcement rewriter against a target schema (which
-// must share the peer schema's symbol table).
+// must share the peer schema's symbol table). The expensive schema-pair
+// analysis comes from the Enforcement cache; only the cheap per-message
+// rewriter state is fresh.
 func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
-	rw := core.NewRewriter(p.Schema, target, p.K, p.Invoker())
+	rw := core.NewRewriterFor(p.Enforcement.Get(p.Schema, target), p.K, p.Invoker())
 	rw.Audit = p.Audit
 	return rw
 }
@@ -161,8 +173,7 @@ func (p *Peer) Call(desc *wsdl.Description, method string, params []*doc.Node, m
 		return nil, fmt.Errorf("peer %s: remote description must be parsed with this peer's symbol table", p.Name)
 	}
 	if def.In != nil {
-		rw := core.NewRewriter(p.Schema, desc.Schema, p.K, p.Invoker())
-		rw.Audit = p.Audit
+		rw := p.rewriter(desc.Schema)
 		out, err := rw.RewriteForest(params, def.In, mode)
 		if err != nil {
 			return nil, fmt.Errorf("peer %s: parameters for %s.%s: %w", p.Name, desc.Name, method, err)
@@ -237,10 +248,16 @@ func (p *Peer) DefineQueryService(name, in, out string, q Query) error {
 			nodes = next
 		}
 		if q.Where != "" {
-			want := firstText(params)
+			want, ok := firstText(params)
+			if !ok {
+				// Without an atomic parameter there is nothing to compare
+				// against; matching "" would silently select exactly the
+				// rows *lacking* the Where child.
+				return nil, fmt.Errorf("peer %s: query service %q: Where %q filter requires an atomic parameter", p.Name, name, q.Where)
+			}
 			var filtered []*doc.Node
 			for _, n := range nodes {
-				if childText(n, q.Where) == want {
+				if got, ok := childText(n, q.Where); ok && got == want {
 					filtered = append(filtered, n)
 				}
 			}
@@ -251,25 +268,36 @@ func (p *Peer) DefineQueryService(name, in, out string, q Query) error {
 	return p.Services.Register(&service.Operation{Name: name, Def: def, Handler: handler})
 }
 
-func firstText(params []*doc.Node) string {
+// firstText extracts the first atomic parameter of a call: a bare text node
+// or an element wrapping a single text node. ok is false when no parameter
+// is atomic — distinct from an atomic parameter whose value is "".
+func firstText(params []*doc.Node) (value string, ok bool) {
 	for _, n := range params {
 		if n.Kind == doc.Text {
-			return n.Value
+			return n.Value, true
 		}
 		if len(n.Children) == 1 && n.Children[0].Kind == doc.Text {
-			return n.Children[0].Value
+			return n.Children[0].Value, true
 		}
 	}
-	return ""
+	return "", false
 }
 
-func childText(n *doc.Node, label string) string {
+// childText extracts the text value of n's first child labeled label. ok is
+// false when no such child exists or when it has structured content — such
+// rows never match a Where filter, even one comparing against "".
+func childText(n *doc.Node, label string) (value string, ok bool) {
 	for _, ch := range n.Children {
-		if ch.Kind != doc.Text && ch.Label == label {
-			if len(ch.Children) == 1 && ch.Children[0].Kind == doc.Text {
-				return ch.Children[0].Value
-			}
+		if ch.Kind == doc.Text || ch.Label != label {
+			continue
 		}
+		switch {
+		case len(ch.Children) == 0:
+			return "", true // present but empty: matches want == ""
+		case len(ch.Children) == 1 && ch.Children[0].Kind == doc.Text:
+			return ch.Children[0].Value, true
+		}
+		return "", false
 	}
-	return ""
+	return "", false
 }

@@ -31,11 +31,32 @@ func NewRepository() *Repository {
 	return &Repository{docs: make(map[string]*doc.Node)}
 }
 
-// Put stores a document under a name (cloned).
-func (r *Repository) Put(name string, d *doc.Node) {
+// ValidateDocName rejects names that cannot safely become file names:
+// empty, "." / "..", or anything containing a path separator. SaveDir joins
+// names onto a directory, so an unchecked "../evil" would escape it.
+func ValidateDocName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("peer: document name must not be empty")
+	case name == "." || name == "..":
+		return fmt.Errorf("peer: %q is not a valid document name", name)
+	case strings.ContainsAny(name, `/\`):
+		return fmt.Errorf("peer: document name %q must not contain path separators", name)
+	}
+	return nil
+}
+
+// Put stores a document under a name (cloned). Names containing path
+// separators are rejected — they would let SaveDir write outside its
+// directory.
+func (r *Repository) Put(name string, d *doc.Node) error {
+	if err := ValidateDocName(name); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.docs[name] = d.Clone()
+	return nil
 }
 
 // Get returns a clone of the named document.
@@ -100,6 +121,9 @@ func (r *Repository) SaveDir(dir string) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, d := range r.docs {
+		if err := ValidateDocName(name); err != nil {
+			return err // defense in depth: Put already rejects these
+		}
 		s, err := xmlio.String(d)
 		if err != nil {
 			return fmt.Errorf("peer: serializing %q: %w", name, err)
@@ -130,7 +154,9 @@ func (r *Repository) LoadDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("peer: parsing %s: %w", e.Name(), err)
 		}
-		r.Put(strings.TrimSuffix(e.Name(), ".xml"), d)
+		if err := r.Put(strings.TrimSuffix(e.Name(), ".xml"), d); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,5 +1,7 @@
 package regex
 
+import "sync"
+
 // Derive returns the Brzozowski derivative of r with respect to symbol a:
 // the language { w : aw ∈ L(r) }. Derivatives power the lazy variant of the
 // paper's Section 7 — the (complement of the) target content model is
@@ -54,8 +56,11 @@ func Match(r *Regex, word []Symbol) bool {
 
 // Deriver memoizes derivatives of a root expression, giving an implicit DFA:
 // states are canonical derivative keys, transitions are computed on demand.
-// It is the engine behind the lazy safe-rewriting variant.
+// It is the engine behind the lazy safe-rewriting variant. A Deriver is safe
+// for concurrent use, so one table of derivatives can be shared by all lazy
+// analyses running against the same compiled schema pair.
 type Deriver struct {
+	mu   sync.RWMutex
 	memo map[string]map[Symbol]*Regex
 }
 
@@ -67,19 +72,33 @@ func NewDeriver() *Deriver {
 // Derive returns the memoized derivative of r by a.
 func (d *Deriver) Derive(r *Regex, a Symbol) *Regex {
 	k := r.Key()
+	d.mu.RLock()
+	out, ok := d.memo[k][a]
+	d.mu.RUnlock()
+	if ok {
+		return out
+	}
+	out = Derive(r, a)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	row := d.memo[k]
 	if row == nil {
 		row = make(map[Symbol]*Regex)
 		d.memo[k] = row
 	}
-	if out, ok := row[a]; ok {
-		return out
+	if prev, ok := row[a]; ok {
+		// A racing writer got here first; hand out the published node so
+		// every caller sees one canonical derivative per (state, symbol).
+		return prev
 	}
-	out := Derive(r, a)
 	row[a] = out
 	return out
 }
 
 // States reports how many distinct expressions have had a derivative taken —
 // a proxy for "DFA states explored", used by the lazy-vs-eager experiments.
-func (d *Deriver) States() int { return len(d.memo) }
+func (d *Deriver) States() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.memo)
+}

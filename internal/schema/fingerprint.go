@@ -1,0 +1,90 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"axml/internal/regex"
+)
+
+// Fingerprint returns a content-based identity for the schema, suitable as a
+// cache key for compiled schema-pair analyses: two schemas interned into the
+// same symbol table with identical declarations (labels, content models,
+// function signatures and policy metadata, patterns) share a fingerprint,
+// even when they are distinct parses of the same source — the situation the
+// peer's /exchange endpoint creates on every request.
+//
+// Fingerprints are deliberately *not* memoized on the Schema: schemas are
+// mutable (DefineQueryService adds functions after construction), and a
+// recomputed fingerprint is what lets caches detect such mutations and
+// recompile instead of serving stale analyses.
+//
+// Pattern predicates are opaque Go functions, so a schema declaring a
+// pattern with a non-nil Pred cannot be identified by content alone; its
+// fingerprint additionally pins the schema's pointer identity, trading cache
+// hits across re-parses for correctness.
+func (s *Schema) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("root=")
+	b.WriteString(s.Root)
+	b.WriteByte('\n')
+	for _, name := range s.SortedLabels() {
+		d := s.Labels[name]
+		b.WriteString("elem ")
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(regexKey(d.Content))
+		b.WriteByte('\n')
+	}
+	for _, name := range s.SortedFuncs() {
+		d := s.Funcs[name]
+		b.WriteString("func ")
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(regexKey(d.In))
+		b.WriteString("->")
+		b.WriteString(regexKey(d.Out))
+		b.WriteString(" inv=")
+		b.WriteString(strconv.FormatBool(d.Invocable))
+		b.WriteString(" cost=")
+		b.WriteString(strconv.FormatFloat(d.Cost, 'g', -1, 64))
+		b.WriteString(" se=")
+		b.WriteString(strconv.FormatBool(d.SideEffects))
+		b.WriteByte('\n')
+	}
+	opaque := false
+	for _, name := range s.SortedPatterns() {
+		d := s.Patterns[name]
+		b.WriteString("pat ")
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(regexKey(d.In))
+		b.WriteString("->")
+		b.WriteString(regexKey(d.Out))
+		b.WriteString(" inv=")
+		b.WriteString(strconv.FormatBool(d.Invocable))
+		b.WriteByte('\n')
+		if d.Pred != nil {
+			opaque = true
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	fp := hex.EncodeToString(sum[:16])
+	if opaque {
+		// Predicate behaviour is invisible to the hash; pin the instance.
+		return fmt.Sprintf("%s@%p", fp, s)
+	}
+	return fp
+}
+
+// regexKey renders a possibly-nil content model or signature side; nil is
+// the "data" keyword everywhere a schema stores regexes.
+func regexKey(r *regex.Regex) string {
+	if r == nil {
+		return "data"
+	}
+	return r.Key()
+}

@@ -2,13 +2,39 @@ package soap
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"axml/internal/core"
 	"axml/internal/doc"
 	"axml/internal/service"
 )
+
+// Transport robustness defaults. A peer exchanging intensional documents on
+// the open network must bound what it reads and how long it waits: an
+// unbounded body is a memory exhaustion vector, and a timeout-less client
+// blocks a rewriting forever on one hung remote (cf. the robustness concerns
+// of distributed XML design).
+const (
+	// DefaultMaxRequestBytes caps decoded SOAP request bodies server-side.
+	DefaultMaxRequestBytes = 8 << 20 // 8 MiB
+	// DefaultMaxResponseBytes caps response bodies the client will read.
+	DefaultMaxResponseBytes = 32 << 20 // 32 MiB
+	// DefaultTimeout bounds a full client round trip.
+	DefaultTimeout = 30 * time.Second
+	// bodyExcerptBytes bounds how much of a non-SOAP error body is quoted in
+	// client error messages.
+	bodyExcerptBytes = 256
+)
+
+// DefaultClient is the HTTP client used when none is configured: unlike
+// http.DefaultClient it carries a timeout, so a hung remote peer cannot
+// stall schema enforcement indefinitely.
+var DefaultClient = &http.Client{Timeout: DefaultTimeout}
 
 // Server exposes a service registry as a SOAP endpoint. The OnRequest and
 // OnResponse hooks are where the peer's Schema Enforcement module plugs in:
@@ -20,6 +46,9 @@ type Server struct {
 	OnRequest func(method string, params []*doc.Node) ([]*doc.Node, error)
 	// OnResponse intercepts results before they are written back.
 	OnResponse func(method string, result []*doc.Node) ([]*doc.Node, error)
+	// MaxRequestBytes caps the request body; 0 selects
+	// DefaultMaxRequestBytes, negative disables the limit.
+	MaxRequestBytes int64
 }
 
 // ServeHTTP implements http.Handler.
@@ -28,8 +57,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "soap endpoints accept POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	req, err := ReadRequest(r.Body)
+	body := io.Reader(r.Body)
+	limit := s.MaxRequestBytes
+	if limit == 0 {
+		limit = DefaultMaxRequestBytes
+	}
+	if limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	req, err := ReadRequest(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fault(w, http.StatusRequestEntityTooLarge, "soap:Client",
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		s.fault(w, http.StatusBadRequest, "soap:Client", err)
 		return
 	}
@@ -72,14 +115,23 @@ func (s *Server) fault(w http.ResponseWriter, status int, code string, err error
 type Client struct {
 	Endpoint  string
 	Namespace string
-	HTTP      *http.Client
+	// HTTP performs the round trips; nil selects DefaultClient (which,
+	// unlike http.DefaultClient, has a timeout).
+	HTTP *http.Client
+	// MaxResponseBytes caps how much of a response body is read; 0 selects
+	// DefaultMaxResponseBytes, negative disables the limit.
+	MaxResponseBytes int64
 }
 
-// Call performs one SOAP request/response round trip.
+// Call performs one SOAP request/response round trip. HTTP-level failures
+// are reported as such: a SOAP fault in the body (whatever the status code)
+// surfaces as *Fault, while a non-SOAP error body — a proxy error page, a
+// plain-text http.Error — yields an error carrying the HTTP status and a
+// bounded excerpt instead of a confusing XML parse error.
 func (c *Client) Call(method string, params []*doc.Node) ([]*doc.Node, error) {
 	httpc := c.HTTP
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = DefaultClient
 	}
 	var buf bytes.Buffer
 	if err := WriteRequest(&buf, method, c.Namespace, params); err != nil {
@@ -90,11 +142,76 @@ func (c *Client) Call(method string, params []*doc.Node) ([]*doc.Node, error) {
 		return nil, fmt.Errorf("soap: calling %s at %s: %w", method, c.Endpoint, err)
 	}
 	defer resp.Body.Close()
-	out, err := ReadResponse(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("soap: %s at %s: %w", method, c.Endpoint, err)
+	limit := c.MaxResponseBytes
+	if limit == 0 {
+		limit = DefaultMaxResponseBytes
 	}
-	return out, nil
+	var body []byte
+	if limit > 0 {
+		body, err = io.ReadAll(io.LimitReader(resp.Body, limit+1))
+		if err == nil && int64(len(body)) > limit {
+			err = fmt.Errorf("response body exceeds %d bytes", limit)
+		}
+	} else {
+		body, err = io.ReadAll(resp.Body)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("soap: %s at %s: reading response: %w", method, c.Endpoint, err)
+	}
+
+	ct := resp.Header.Get("Content-Type")
+	if xmlContentType(ct) {
+		out, perr := ReadResponse(bytes.NewReader(body))
+		var fault *Fault
+		if errors.As(perr, &fault) {
+			return nil, fault // server-reported fault, any status code
+		}
+		if perr == nil {
+			if resp.StatusCode != http.StatusOK {
+				// A well-formed response on an error status is a broken
+				// server or intermediary; do not trust the payload.
+				return nil, fmt.Errorf("soap: %s at %s: HTTP %s with a response body", method, c.Endpoint, resp.Status)
+			}
+			return out, nil
+		}
+		if resp.StatusCode == http.StatusOK {
+			return nil, fmt.Errorf("soap: %s at %s: %w", method, c.Endpoint, perr)
+		}
+		// fall through: non-OK status with unparsable XML body
+	}
+	return nil, fmt.Errorf("soap: %s at %s: HTTP %s (Content-Type %q): %s",
+		method, c.Endpoint, resp.Status, ct, excerpt(body))
+}
+
+// xmlContentType accepts the media types SOAP 1.x replies arrive with. An
+// absent Content-Type is accepted leniently — the body decides.
+func xmlContentType(ct string) bool {
+	if ct == "" {
+		return true
+	}
+	mediaType := strings.TrimSpace(strings.ToLower(strings.SplitN(ct, ";", 2)[0]))
+	switch mediaType {
+	case "text/xml", "application/xml", "application/soap+xml":
+		return true
+	}
+	return strings.HasSuffix(mediaType, "+xml")
+}
+
+// excerpt renders a bounded, quote-escaped prefix of an error body.
+func excerpt(body []byte) string {
+	truncated := false
+	if len(body) > bodyExcerptBytes {
+		body = body[:bodyExcerptBytes]
+		truncated = true
+	}
+	s := strings.TrimSpace(string(body))
+	if s == "" {
+		return "empty body"
+	}
+	if truncated {
+		return fmt.Sprintf("%q...", s)
+	}
+	return fmt.Sprintf("%q", s)
 }
 
 // Invoker routes function nodes to SOAP endpoints: a node's ServiceRef
@@ -105,7 +222,10 @@ type Invoker struct {
 	Default string
 	// Namespace stamps outgoing body elements.
 	Namespace string
-	HTTP      *http.Client
+	// HTTP performs the round trips; nil selects DefaultClient.
+	HTTP *http.Client
+	// MaxResponseBytes is forwarded to the per-call Client.
+	MaxResponseBytes int64
 }
 
 // Invoke implements core.Invoker.
@@ -123,7 +243,7 @@ func (i *Invoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
 	if endpoint == "" {
 		return nil, fmt.Errorf("soap: no endpoint for %q", call.Label)
 	}
-	c := &Client{Endpoint: endpoint, Namespace: ns, HTTP: i.HTTP}
+	c := &Client{Endpoint: endpoint, Namespace: ns, HTTP: i.HTTP, MaxResponseBytes: i.MaxResponseBytes}
 	return c.Call(call.Label, call.Children)
 }
 

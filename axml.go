@@ -50,6 +50,7 @@ import (
 
 	"axml/internal/core"
 	"axml/internal/doc"
+	"axml/internal/invoke"
 	"axml/internal/peer"
 	"axml/internal/regex"
 	"axml/internal/schema"
@@ -75,12 +76,41 @@ type (
 	Rewriter = core.Rewriter
 	// Mode selects the rewriting discipline.
 	Mode = core.Mode
-	// Invoker performs service calls for the rewriter.
+	// Invoker performs service calls for the rewriter. Invoke takes the
+	// rewriting's context; cancelling it aborts the call.
 	Invoker = core.Invoker
-	// InvokerFunc adapts a function to Invoker.
+	// InvokerFunc adapts a context-free function to Invoker (the context is
+	// still consulted for cancellation before each call).
 	InvokerFunc = core.InvokerFunc
-	// Audit records the invocation trail of a rewriting.
+	// ContextInvokerFunc adapts a context-aware function to Invoker.
+	ContextInvokerFunc = core.ContextInvokerFunc
+	// LegacyInvoker is the pre-context Invoker shape; adapt with Legacy.
+	LegacyInvoker = core.LegacyInvoker
+	// Audit records the invocation trail of a rewriting, including policy
+	// events (attempts, retries, breaker transitions, degradations).
 	Audit = core.Audit
+	// RewriterConfig configures NewRewriterWithConfig: depth bound, invoker,
+	// invocation policies, converters, audit sink and validation switches.
+	RewriterConfig = core.RewriterConfig
+	// InvokePolicy wraps an Invoker with cross-cutting behavior (timeout,
+	// retry, circuit breaking, concurrency limiting, fault injection).
+	InvokePolicy = core.InvokePolicy
+	// InvokeEvent is one policy-layer event recorded in the Audit.
+	InvokeEvent = core.InvokeEvent
+	// RetryPolicy parameterizes WithRetry.
+	RetryPolicy = invoke.Retry
+	// BreakerPolicy parameterizes WithBreaker.
+	BreakerPolicy = invoke.Breaker
+	// PolicyError is the error policies report on exhaustion/rejection; it is
+	// classified transient, so Possible-mode rewritings degrade instead of
+	// aborting.
+	PolicyError = invoke.PolicyError
+	// FaultInjector is a deterministic fault-injecting Invoker for tests.
+	FaultInjector = invoke.FaultInjector
+	// Fault is one scheduled fault for a FaultInjector.
+	Fault = invoke.Fault
+	// FaultKind classifies injected faults.
+	FaultKind = invoke.FaultKind
 	// SchemaReport is the outcome of a schema-compatibility check.
 	SchemaReport = core.SchemaRewriteReport
 	// Converter restructures non-conforming service results (the paper's
@@ -199,6 +229,59 @@ func Validate(s *Schema, sigs *Schema, n *Node) error {
 func NewRewriter(sender, target *Schema, k int, inv Invoker) *Rewriter {
 	return core.NewRewriter(sender, target, k, inv)
 }
+
+// NewRewriterWithConfig builds a rewriter from an options struct instead of
+// positional parameters; zero values select the documented defaults. Policies
+// listed in cfg wrap cfg.Invoker outermost-first, and a fresh Audit is
+// attached when none is supplied.
+func NewRewriterWithConfig(sender, target *Schema, cfg RewriterConfig) *Rewriter {
+	return core.NewRewriterWithConfig(sender, target, cfg)
+}
+
+// Legacy adapts a pre-context LegacyInvoker to the Invoker interface.
+func Legacy(inv LegacyInvoker) Invoker { return core.Legacy(inv) }
+
+// ApplyPolicies wraps inv with the given policies, first outermost.
+func ApplyPolicies(inv Invoker, policies []InvokePolicy) Invoker {
+	return core.ApplyPolicies(inv, policies)
+}
+
+// Invocation policies. Conventional chain order, outermost first:
+// concurrency limit, breaker, retry, timeout — so each retry attempt gets its
+// own timeout and the breaker counts post-retry outcomes.
+var (
+	// WithTimeout bounds each Invoke with a deadline.
+	WithTimeout = invoke.WithTimeout
+	// WithRetry retries transient failures with exponential backoff.
+	WithRetry = invoke.WithRetry
+	// WithBreaker trips a per-endpoint circuit breaker on repeated failure.
+	WithBreaker = invoke.WithBreaker
+	// WithConcurrencyLimit bounds in-flight calls through the invoker.
+	WithConcurrencyLimit = invoke.WithConcurrencyLimit
+	// NewFaultInjector builds a FaultInjector delegating to inner.
+	NewFaultInjector = invoke.NewFaultInjector
+)
+
+// Fault kinds for FaultInjector plans.
+const (
+	// FaultError makes the call fail with the scheduled error.
+	FaultError = invoke.FaultError
+	// FaultLatency delays the call, then delegates.
+	FaultLatency = invoke.FaultLatency
+	// FaultHang blocks the call until its context is cancelled.
+	FaultHang = invoke.FaultHang
+	// FaultGarbage returns the scheduled (presumably non-conforming) forest.
+	FaultGarbage = invoke.FaultGarbage
+)
+
+// Sentinel errors of the policy layer.
+var (
+	// ErrBreakerOpen is the cause inside a PolicyError when an open circuit
+	// breaker rejects a call.
+	ErrBreakerOpen = invoke.ErrBreakerOpen
+	// ErrInjected is the default error of FaultError faults.
+	ErrInjected = invoke.ErrInjected
+)
 
 // SchemaCompatible checks Definition 6: does every document of sender
 // (rooted at root, defaulting to sender's declared root) safely rewrite

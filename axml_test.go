@@ -1,8 +1,10 @@
 package axml_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"axml"
 )
@@ -136,5 +138,38 @@ func TestPublicAPICheckOnly(t *testing.T) {
 	}
 	if _, err := rw.RewriteDocument(newspaper(), axml.Safe); err == nil {
 		t.Error("rewriting without an invoker should fail loudly")
+	}
+}
+
+// TestPublicAPIPolicies drives the invocation layer purely through the axml
+// facade: RewriterConfig, policy constructors and the fault injector, without
+// importing any internal package.
+func TestPublicAPIPolicies(t *testing.T) {
+	sender := axml.MustParseSchemaText(senderSrc)
+	target := axml.MustParseSchemaTextShared(sender, targetSrc)
+
+	fi := axml.NewFaultInjector(weatherInvoker(t)).
+		Plan("Get_Temp", axml.Fault{Kind: axml.FaultError}).
+		Plan("TimeOut", axml.Fault{Kind: axml.FaultGarbage, Result: nil})
+	rw := axml.NewRewriterWithConfig(sender, target, axml.RewriterConfig{
+		Depth:   1,
+		Invoker: fi,
+		Policies: []axml.InvokePolicy{
+			axml.WithBreaker(axml.BreakerPolicy{Failures: 5}),
+			axml.WithRetry(axml.RetryPolicy{Attempts: 2, Sleep: func(ctx context.Context, d time.Duration) error { return nil }}),
+			axml.WithTimeout(time.Second),
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := rw.RewriteDocumentContext(ctx, newspaper(), axml.Safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Children[2].Label != "temp" {
+		t.Errorf("temp not materialized after retry: %v", out.ChildLabels())
+	}
+	if rw.Audit == nil || rw.Audit.EventCount("attempt") < 2 {
+		t.Errorf("config path should audit attempts, got %v", rw.Audit.Events())
 	}
 }

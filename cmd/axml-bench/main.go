@@ -4,23 +4,40 @@
 //	axml-bench             # run everything
 //	axml-bench -run lazy   # run experiments whose id contains "lazy"
 //	axml-bench -list       # list experiment ids
+//	axml-bench -invoke out.json  # benchmark the invocation policy chain
 //
 // Output is deterministic except for wall-clock timings.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
+	"time"
 
+	"axml/internal/core"
+	"axml/internal/doc"
 	"axml/internal/experiments"
+	"axml/internal/invoke"
 )
 
 func main() {
 	runFilter := flag.String("run", "", "only run experiments whose id contains this substring")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	invokeOut := flag.String("invoke", "", "benchmark the invocation policy chain and write ns/op JSON to this file")
 	flag.Parse()
+
+	if *invokeOut != "" {
+		if err := benchInvoke(*invokeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "axml-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {
@@ -41,4 +58,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "axml-bench: no experiment matches %q\n", *runFilter)
 		os.Exit(1)
 	}
+}
+
+// benchInvoke measures the per-call overhead of the policy chain on the
+// success path: a bare in-process invoker vs the same invoker behind the full
+// default chain (limit + breaker + retry + timeout). The JSON report feeds
+// the CI bench-smoke step.
+func benchInvoke(path string) error {
+	service := core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+		return []*doc.Node{doc.Elem("temp", doc.TextNode("20"))}, nil
+	})
+	wrapped := invoke.Chain(service,
+		invoke.WithConcurrencyLimit(64),
+		invoke.WithBreaker(invoke.Breaker{}),
+		invoke.WithRetry(invoke.Retry{Attempts: 3}),
+		invoke.WithTimeout(time.Second),
+	)
+	call := doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris")))
+	ctx := context.Background()
+
+	measure := func(inv core.Invoker) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := inv.Invoke(ctx, call); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	bare := measure(service)
+	chain := measure(wrapped)
+
+	report := map[string]any{
+		"benchmark":           "invoke-policy-chain",
+		"bare_ns_per_op":      bare.NsPerOp(),
+		"policy_ns_per_op":    chain.NsPerOp(),
+		"overhead_ns_per_op":  chain.NsPerOp() - bare.NsPerOp(),
+		"bare_iterations":     bare.N,
+		"policy_iterations":   chain.N,
+		"policy_allocs_op":    chain.AllocsPerOp(),
+		"bare_allocs_op":      bare.AllocsPerOp(),
+		"chain":               "limit(64) > breaker > retry(3) > timeout(1s)",
+		"go_max_procs_note":   "single-goroutine success path; contention not measured here",
+		"generated_by_flag":   "-invoke",
+		"ns_per_op_unit_note": "lower is better; overhead is the policy tax per successful call",
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("invoke benchmark: bare %d ns/op, policy chain %d ns/op -> %s\n",
+		bare.NsPerOp(), chain.NsPerOp(), path)
+	return nil
 }

@@ -8,12 +8,18 @@
 //	POST /exchange/{name}  Figure 1 data exchange: body = XML Schema_int,
 //	                       response = the document rewritten to conform
 //
+// Outbound service calls made by enforcement rewritings run through the
+// invocation policy chain configured by -call-timeout, -retries,
+// -retry-backoff, -breaker-failures and -breaker-cooldown.
+//
 // Example:
 //
-//	axmld -name news -schema news.axs -docs ./docs -sim 7 -addr :8080
+//	axmld -name news -schema news.axs -docs ./docs -sim 7 -addr :8080 \
+//	      -call-timeout 2s -retries 3 -breaker-failures 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,9 +27,11 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"axml/internal/core"
 	"axml/internal/doc"
+	"axml/internal/invoke"
 	"axml/internal/peer"
 	"axml/internal/regex"
 	"axml/internal/schema"
@@ -34,32 +42,68 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	p, addr, err := configure(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axmld:", err)
+		os.Exit(2)
+	}
+	log.Printf("peer %q serving on %s (k=%d, mode=%s)", p.Name, addr, p.K, p.Mode)
+	if err := http.ListenAndServe(addr, p.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "axmld:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	name := flag.String("name", "axml-peer", "peer name")
-	schemaPath := flag.String("schema", "", "peer schema (.axs text DSL or .xsd XML Schema_int)")
-	docsDir := flag.String("docs", "", "directory of *.xml intensional documents to load")
-	addr := flag.String("addr", ":8080", "listen address")
-	k := flag.Int("k", 2, "rewriting depth bound")
-	mode := flag.String("mode", "safe", "default enforcement mode: safe | possible | mixed")
-	simSeed := flag.Int64("sim", -1, "register simulated implementations for all declared functions, with this seed")
-	endpoint := flag.String("public", "", "public endpoint URL advertised in WSDL (default http://<addr>/soap)")
-	cacheSize := flag.Int("cache", core.DefaultCompiledCacheSize, "max compiled schema-pair analyses kept per peer")
-	wordCacheSize := flag.Int("word-cache", core.DefaultWordCacheSize, "max word-level verdicts memoized per analysis (negative disables)")
-	maxRequest := flag.Int64("max-request", soap.DefaultMaxRequestBytes, "max SOAP request body bytes (negative disables the limit)")
-	flag.Parse()
+// configure parses flags and builds the peer; split from main so tests can
+// drive flag validation without binding a socket.
+func configure(args []string) (*peer.Peer, string, error) {
+	fs := flag.NewFlagSet("axmld", flag.ContinueOnError)
+	name := fs.String("name", "axml-peer", "peer name")
+	schemaPath := fs.String("schema", "", "peer schema (.axs text DSL or .xsd XML Schema_int)")
+	docsDir := fs.String("docs", "", "directory of *.xml intensional documents to load")
+	addr := fs.String("addr", ":8080", "listen address")
+	k := fs.Int("k", 2, "rewriting depth bound")
+	mode := fs.String("mode", "safe", "default enforcement mode: safe | possible | mixed")
+	simSeed := fs.Int64("sim", -1, "register simulated implementations for all declared functions, with this seed")
+	endpoint := fs.String("public", "", "public endpoint URL advertised in WSDL (default http://<addr>/soap)")
+	cacheSize := fs.Int("cache", core.DefaultCompiledCacheSize, "max compiled schema-pair analyses kept per peer (must be positive)")
+	wordCacheSize := fs.Int("word-cache", core.DefaultWordCacheSize, "max word-level verdicts memoized per analysis (must be positive)")
+	maxRequest := fs.Int64("max-request", soap.DefaultMaxRequestBytes, "max SOAP request body bytes (must be positive)")
+	callTimeout := fs.Duration("call-timeout", 0, "per-service-call timeout applied to enforcement invocations (0 disables)")
+	retries := fs.Int("retries", 1, "delivery attempts per service call (1 disables retrying)")
+	retryBackoff := fs.Duration("retry-backoff", invoke.DefaultBaseDelay, "initial backoff between retry attempts")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures opening a per-endpoint circuit breaker (0 disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", invoke.DefaultBreakerCooldown, "how long an open breaker rejects calls before probing")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
 
 	if *schemaPath == "" {
-		return fmt.Errorf("-schema is required")
+		return nil, "", fmt.Errorf("-schema is required")
+	}
+	// A zero or negative capacity would silently disable the enforcement
+	// cache (or worse, misconfigure the peer); reject it up front.
+	if *cacheSize <= 0 {
+		return nil, "", fmt.Errorf("-cache must be positive, got %d", *cacheSize)
+	}
+	if *wordCacheSize <= 0 {
+		return nil, "", fmt.Errorf("-word-cache must be positive, got %d", *wordCacheSize)
+	}
+	if *maxRequest <= 0 {
+		return nil, "", fmt.Errorf("-max-request must be positive, got %d", *maxRequest)
+	}
+	if *retries < 1 {
+		return nil, "", fmt.Errorf("-retries must be at least 1, got %d", *retries)
+	}
+	if *callTimeout < 0 {
+		return nil, "", fmt.Errorf("-call-timeout must not be negative, got %v", *callTimeout)
+	}
+	if *breakerFailures < 0 {
+		return nil, "", fmt.Errorf("-breaker-failures must not be negative, got %d", *breakerFailures)
 	}
 	s, err := loadSchema(*schemaPath)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	p := peer.New(*name, s)
 	p.K = *k
@@ -71,7 +115,7 @@ func run() error {
 	case "mixed":
 		p.Mode = core.Mixed
 	default:
-		return fmt.Errorf("bad -mode %q", *mode)
+		return nil, "", fmt.Errorf("bad -mode %q", *mode)
 	}
 	if *endpoint != "" {
 		p.Endpoint = *endpoint
@@ -85,10 +129,11 @@ func run() error {
 	p.Enforcement = core.NewCompiledCache(*cacheSize)
 	p.Enforcement.WordCacheCapacity = *wordCacheSize
 	p.MaxRequestBytes = *maxRequest
+	p.Policies = policies(*breakerFailures, *breakerCooldown, *retries, *retryBackoff, *callTimeout)
 
 	if *docsDir != "" {
 		if err := p.Repo.LoadDir(*docsDir); err != nil {
-			return err
+			return nil, "", err
 		}
 		log.Printf("loaded %d documents from %s", p.Repo.Len(), *docsDir)
 	}
@@ -101,18 +146,34 @@ func run() error {
 				Name: fname,
 				Def:  def,
 				Handler: func(params []*doc.Node) ([]*doc.Node, error) {
-					return sim.Invoke(doc.Call(fname, params...))
+					return sim.Invoke(context.Background(), doc.Call(fname, params...))
 				},
 			})
 			if err != nil {
-				return err
+				return nil, "", err
 			}
 		}
 		log.Printf("registered %d simulated operations", len(s.Funcs))
 	}
+	return p, *addr, nil
+}
 
-	log.Printf("peer %q serving on %s (k=%d, mode=%s)", *name, *addr, *k, p.Mode)
-	return http.ListenAndServe(*addr, p.Handler())
+// policies assembles the peer's invocation chain in the conventional order:
+// breaker outermost (counting post-retry outcomes is deliberate here — a
+// peer's breaker should see what the retry layer could not fix), retries,
+// then a per-attempt timeout.
+func policies(breakerFailures int, breakerCooldown time.Duration, retries int, backoff, callTimeout time.Duration) []core.InvokePolicy {
+	var ps []core.InvokePolicy
+	if breakerFailures > 0 {
+		ps = append(ps, invoke.WithBreaker(invoke.Breaker{Failures: breakerFailures, Cooldown: breakerCooldown}))
+	}
+	if retries > 1 {
+		ps = append(ps, invoke.WithRetry(invoke.Retry{Attempts: retries, BaseDelay: backoff, Jitter: 0.2}))
+	}
+	if callTimeout > 0 {
+		ps = append(ps, invoke.WithTimeout(callTimeout))
+	}
+	return ps
 }
 
 func loadSchema(path string) (*schema.Schema, error) {

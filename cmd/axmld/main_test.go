@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSchema(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "peer.axs")
+	err := os.WriteFile(path, []byte(`
+root page
+elem page = Get_Temp|temp
+elem temp = data
+elem city = data
+func Get_Temp = city -> temp
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConfigureRejectsBadFlags(t *testing.T) {
+	sp := writeSchema(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no schema", nil, "-schema is required"},
+		{"zero cache", []string{"-schema", sp, "-cache", "0"}, "-cache must be positive"},
+		{"negative cache", []string{"-schema", sp, "-cache", "-3"}, "-cache must be positive"},
+		{"zero word cache", []string{"-schema", sp, "-word-cache", "0"}, "-word-cache must be positive"},
+		{"zero max request", []string{"-schema", sp, "-max-request", "0"}, "-max-request must be positive"},
+		{"negative max request", []string{"-schema", sp, "-max-request", "-1"}, "-max-request must be positive"},
+		{"zero retries", []string{"-schema", sp, "-retries", "0"}, "-retries must be at least 1"},
+		{"negative timeout", []string{"-schema", sp, "-call-timeout", "-1s"}, "-call-timeout must not be negative"},
+		{"negative breaker", []string{"-schema", sp, "-breaker-failures", "-1"}, "-breaker-failures must not be negative"},
+		{"bad mode", []string{"-schema", sp, "-mode", "yolo"}, "bad -mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := configure(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("configure(%v) error = %v, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigureBuildsPeer(t *testing.T) {
+	sp := writeSchema(t)
+	p, addr, err := configure([]string{
+		"-schema", sp, "-name", "news", "-addr", ":9999", "-mode", "possible",
+		"-sim", "7",
+		"-call-timeout", "2s", "-retries", "3", "-breaker-failures", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":9999" || p.Name != "news" {
+		t.Errorf("addr=%q name=%q", addr, p.Name)
+	}
+	if len(p.Policies) != 3 {
+		t.Errorf("policies = %d, want 3 (breaker, retry, timeout)", len(p.Policies))
+	}
+	if _, ok := p.Services.Lookup("Get_Temp"); !ok {
+		t.Error("simulated operation not registered")
+	}
+}
+
+func TestConfigurePolicyFlagsOff(t *testing.T) {
+	p, _, err := configure([]string{"-schema", writeSchema(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Policies) != 0 {
+		t.Errorf("default policies = %d, want 0", len(p.Policies))
+	}
+}

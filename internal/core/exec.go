@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,12 +15,23 @@ import (
 // an instance of the target schema, or an error explains why the rewriting
 // was refused (safe mode) or failed (possible mode, with any side-effecting
 // calls already recorded in the Audit).
+//
+// RewriteDocument is the documented context-free wrapper over
+// RewriteDocumentContext, running under context.Background().
 func (rw *Rewriter) RewriteDocument(root *doc.Node, mode Mode) (*doc.Node, error) {
+	return rw.RewriteDocumentContext(context.Background(), root, mode)
+}
+
+// RewriteDocumentContext is RewriteDocument under a context: cancellation or
+// deadline expiry aborts the rewriting between (and, for context-aware
+// invokers, during) service calls, returning the context's error. Calls
+// already performed remain recorded in the Audit.
+func (rw *Rewriter) RewriteDocumentContext(ctx context.Context, root *doc.Node, mode Mode) (*doc.Node, error) {
 	typ, err := rw.documentType(root)
 	if err != nil {
 		return nil, err
 	}
-	out, err := rw.RewriteForest([]*doc.Node{root}, typ, mode)
+	out, err := rw.RewriteForestContext(ctx, []*doc.Node{root}, typ, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -32,12 +44,19 @@ func (rw *Rewriter) RewriteDocument(root *doc.Node, mode Mode) (*doc.Node, error
 // RewriteForest rewrites a forest into the given word type — the operation
 // the Schema Enforcement module applies to service parameters (typ = τ_in)
 // and results (typ = τ_out). Trees are mutated in place; the returned slice
-// is the new top level.
+// is the new top level. Context-free wrapper over RewriteForestContext.
 func (rw *Rewriter) RewriteForest(forest []*doc.Node, typ *regex.Regex, mode Mode) ([]*doc.Node, error) {
+	return rw.RewriteForestContext(context.Background(), forest, typ, mode)
+}
+
+// RewriteForestContext is RewriteForest under a context (see
+// RewriteDocumentContext for the cancellation contract).
+func (rw *Rewriter) RewriteForestContext(ctx context.Context, forest []*doc.Node, typ *regex.Regex, mode Mode) ([]*doc.Node, error) {
 	if rw.Invoker == nil {
 		return nil, fmt.Errorf("core: Rewriter has no Invoker; use CheckForest for static analysis")
 	}
-	ex := &executor{rw: rw, mode: mode, paramsDone: map[*doc.Node]bool{}, permafrost: map[*doc.Node]bool{}}
+	ex := &executor{rw: rw, ctx: WithEventSink(ctx, rw.Audit), mode: mode,
+		paramsDone: map[*doc.Node]bool{}, permafrost: map[*doc.Node]bool{}}
 	if mode == Mixed {
 		pre, err := ex.preInvoke(forest, 0, nil)
 		if err != nil {
@@ -63,7 +82,10 @@ func (rw *Rewriter) RewriteForest(forest []*doc.Node, typ *regex.Regex, mode Mod
 }
 
 type executor struct {
-	rw   *Rewriter
+	rw *Rewriter
+	// ctx governs the whole rewriting and carries the Audit as event sink;
+	// it is passed to every Invoker.Invoke.
+	ctx  context.Context
 	mode Mode
 	// paramsDone marks function nodes whose parameters have been
 	// materialized into input instances (or arrived conformant from an
@@ -301,6 +323,18 @@ func (w *wordRun) decideFrom(j int) error {
 		}
 		res, err := ex.invoke(it.node, it.depth+1)
 		if err != nil {
+			if ex.degradable(err) {
+				// Possible mode treats an exhausted policy like an unlucky
+				// answer: freeze the occurrence and let the final
+				// verification backtrack over the remaining keeps instead of
+				// aborting the whole rewrite.
+				ex.permafrost[it.node] = true
+				it.forced = false
+				Emit(ex.ctx, InvokeEvent{Func: it.node.Label, Endpoint: EndpointOf(it.node),
+					Kind: EventDegraded, Err: err.Error()})
+				j++
+				continue
+			}
 			return err
 		}
 		spliced := make([]*item, 0, len(w.items)-1+len(res))
@@ -355,13 +389,23 @@ func (ex *executor) tokens(items []*item) []Token {
 	return out
 }
 
+// degradable reports whether an invocation failure should be degraded to a
+// frozen occurrence plus backtracking (Possible mode, transient failure, and
+// the rewriting itself not cancelled) rather than aborting the rewrite.
+func (ex *executor) degradable(err error) bool {
+	return ex.mode == Possible && ex.ctx.Err() == nil && IsTransientCall(err)
+}
+
 // invoke performs one service call with validation and auditing.
 func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ex.calls >= ex.rw.MaxCalls {
 		return nil, fmt.Errorf("core: invocation budget of %d calls exhausted (recursive service?)", ex.rw.MaxCalls)
 	}
 	ex.calls++
-	res, err := ex.rw.Invoker.Invoke(call)
+	res, err := ex.rw.Invoker.Invoke(ex.ctx, call)
 	if err != nil {
 		return nil, fmt.Errorf("core: invoking %q: %w", call.Label, err)
 	}
@@ -424,6 +468,16 @@ func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*
 		}
 		res, err := ex.invoke(n, depth+1)
 		if err != nil {
+			if ex.ctx.Err() == nil && IsTransientCall(err) {
+				// The speculative pass is best-effort: a flaky endpoint
+				// leaves the call intensional and the safe analysis decides
+				// whether the document still rewrites without it.
+				ex.permafrost[n] = true
+				Emit(ex.ctx, InvokeEvent{Func: n.Label, Endpoint: EndpointOf(n),
+					Kind: EventDegraded, Err: err.Error()})
+				out = append(out, n)
+				continue
+			}
 			return nil, err
 		}
 		for _, r := range res {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // stubInvoker dispatches on function name.
 type stubInvoker map[string]func(call *doc.Node) ([]*doc.Node, error)
 
-func (s stubInvoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
+func (s stubInvoker) Invoke(_ context.Context, call *doc.Node) ([]*doc.Node, error) {
 	f, ok := s[call.Label]
 	if !ok {
 		return nil, errors.New("no stub for " + call.Label)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"axml/internal/doc"
 )
@@ -10,20 +13,176 @@ import (
 // Invoker performs the actual Web-service calls during rewriting. The call
 // node's children are its (already materialized) parameters; the returned
 // forest replaces the node. Implementations live in internal/service (local
-// registries, simulated services) and internal/soap (remote endpoints).
+// registries, simulated services), internal/soap (remote endpoints) and
+// internal/invoke (policy middleware, fault injection).
+//
+// The context carries the deadline/cancellation of the whole rewriting (or
+// HTTP request) the call executes under; implementations must return promptly
+// with ctx.Err() once it is done. Legacy context-free implementations can be
+// adapted with Legacy.
 type Invoker interface {
+	Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error)
+}
+
+// LegacyInvoker is the pre-context interface, kept so implementations written
+// against the original API can still be plugged in through Legacy.
+type LegacyInvoker interface {
 	Invoke(call *doc.Node) ([]*doc.Node, error)
 }
 
-// InvokerFunc adapts a function to the Invoker interface.
+// Legacy adapts a context-free invoker to the context-aware interface. The
+// adapted invoker checks the context before delegating, but a call already in
+// flight cannot be interrupted — prefer native context support for anything
+// that can block.
+func Legacy(li LegacyInvoker) Invoker {
+	return ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return li.Invoke(call)
+	})
+}
+
+// InvokerFunc adapts a context-free function to the Invoker interface — the
+// documented compatibility wrapper for code written against the original
+// one-argument API. The context is consulted before the function runs.
 type InvokerFunc func(*doc.Node) ([]*doc.Node, error)
 
 // Invoke implements Invoker.
-func (f InvokerFunc) Invoke(call *doc.Node) ([]*doc.Node, error) { return f(call) }
+func (f InvokerFunc) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f(call)
+}
 
-// CallRecord documents one service invocation performed by a rewriting — the
-// audit trail matters because possible-mode rewritings may fail *after*
-// performing side-effecting calls, and the caller must know what happened.
+// ContextInvokerFunc adapts a context-aware function to the Invoker interface.
+type ContextInvokerFunc func(context.Context, *doc.Node) ([]*doc.Node, error)
+
+// Invoke implements Invoker.
+func (f ContextInvokerFunc) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+	return f(ctx, call)
+}
+
+// InvokePolicy is invocation middleware: it wraps an Invoker with an
+// execution discipline (per-call timeout, bounded retry, circuit breaking,
+// concurrency limiting, fault injection, ...). Concrete policies live in
+// internal/invoke and are re-exported from the axml package.
+type InvokePolicy func(Invoker) Invoker
+
+// ApplyPolicies wraps inv so that policies[0] is the outermost layer.
+func ApplyPolicies(inv Invoker, policies []InvokePolicy) Invoker {
+	for i := len(policies) - 1; i >= 0; i-- {
+		if policies[i] != nil {
+			inv = policies[i](inv)
+		}
+	}
+	return inv
+}
+
+// TransientCallError marks invocation errors that stem from service behavior
+// a different attempt (or a different rewriting choice) might avoid: retry
+// budgets exhausted on flaky endpoints, per-call timeouts, open circuit
+// breakers. In Possible and Mixed modes the executor degrades such failures
+// to backtracking instead of aborting the whole rewrite.
+type TransientCallError interface {
+	TransientCall() bool
+}
+
+// IsTransientCall reports whether err (or anything it wraps) is a transient
+// invocation failure in the sense of TransientCallError.
+func IsTransientCall(err error) bool {
+	var te TransientCallError
+	return errors.As(err, &te) && te.TransientCall()
+}
+
+// ---------------------------------------------------------------------------
+// Invocation events: the fine-grained audit trail of the invocation layer.
+
+// Invocation event kinds recorded by the policy chain and the executor.
+const (
+	// EventAttempt is one delivery attempt reaching the wrapped invoker.
+	EventAttempt = "attempt"
+	// EventRetryWait is a backoff pause between attempts.
+	EventRetryWait = "retry-wait"
+	// EventExhausted marks a retry budget running out.
+	EventExhausted = "exhausted"
+	// EventTimeout marks a per-call timeout firing.
+	EventTimeout = "timeout"
+	// EventBreakerOpen / Close / HalfOpen are circuit-breaker transitions;
+	// EventBreakerReject is a call short-circuited by an open breaker.
+	EventBreakerOpen     = "breaker-open"
+	EventBreakerClose    = "breaker-close"
+	EventBreakerHalfOpen = "breaker-half-open"
+	EventBreakerReject   = "breaker-reject"
+	// EventFault is an injected fault (internal/invoke.FaultInjector).
+	EventFault = "fault"
+	// EventDegraded marks a transient failure the executor converted into a
+	// frozen occurrence and backtracking instead of an abort.
+	EventDegraded = "degraded"
+)
+
+// InvokeEvent is one step of the invocation layer's execution: an attempt, a
+// retry pause, a breaker transition. Events complement CallRecords (which
+// only document *completed* calls): after a partial failure, the events say
+// exactly what was attempted, how often, and why it stopped.
+type InvokeEvent struct {
+	// Func is the function label of the call.
+	Func string
+	// Endpoint identifies the target endpoint (the function label when the
+	// call carries no explicit service reference).
+	Endpoint string
+	// Kind is one of the Event* constants.
+	Kind string
+	// Attempt numbers the delivery attempt this event belongs to (1-based;
+	// 0 when not attempt-scoped).
+	Attempt int
+	// Wait is the backoff pause before the next attempt (retry-wait events).
+	Wait time.Duration
+	// Err carries the triggering error, if any.
+	Err string
+}
+
+// EventSink receives invocation events. *Audit implements it; policies reach
+// the sink through the call context (WithEventSink / Emit), so arbitrarily
+// nested middleware reports into the rewriting's audit without plumbing.
+type EventSink interface {
+	RecordEvent(e InvokeEvent)
+}
+
+type eventSinkKey struct{}
+
+// WithEventSink returns a context delivering invocation events to sink.
+func WithEventSink(ctx context.Context, sink EventSink) context.Context {
+	if sink == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, eventSinkKey{}, sink)
+}
+
+// Emit records an event into the context's sink, if any.
+func Emit(ctx context.Context, e InvokeEvent) {
+	if sink, ok := ctx.Value(eventSinkKey{}).(EventSink); ok {
+		sink.RecordEvent(e)
+	}
+}
+
+// EndpointOf identifies the endpoint a call is routed to, for per-endpoint
+// policies (circuit breakers) and event records: the explicit ServiceRef
+// endpoint when present, the function label otherwise.
+func EndpointOf(call *doc.Node) string {
+	if call.Service != nil && call.Service.Endpoint != "" {
+		return call.Service.Endpoint
+	}
+	return call.Label
+}
+
+// ---------------------------------------------------------------------------
+
+// CallRecord documents one completed service invocation performed by a
+// rewriting — the audit trail matters because possible-mode rewritings may
+// fail *after* performing side-effecting calls, and the caller must know what
+// happened.
 type CallRecord struct {
 	Func string
 	// Depth is the invocation depth (1 = original occurrence).
@@ -33,11 +192,14 @@ type CallRecord struct {
 	ResultNodes int
 }
 
-// Audit accumulates the invocation trail of a rewriting. Safe for concurrent
-// use: peers share one audit across requests.
+// Audit accumulates the invocation trail of a rewriting: completed calls
+// (CallRecord) plus the invocation layer's fine-grained events (attempts,
+// retries, breaker transitions). Safe for concurrent use: peers share one
+// audit across requests.
 type Audit struct {
-	mu    sync.Mutex
-	calls []CallRecord
+	mu     sync.Mutex
+	calls  []CallRecord
+	events []InvokeEvent
 }
 
 // Record appends a call record.
@@ -72,6 +234,44 @@ func (a *Audit) Len() int {
 	return len(a.calls)
 }
 
+// RecordEvent implements EventSink.
+func (a *Audit) RecordEvent(e InvokeEvent) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events = append(a.events, e)
+}
+
+// Events returns a copy of the invocation-event trail.
+func (a *Audit) Events() []InvokeEvent {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]InvokeEvent, len(a.events))
+	copy(out, a.events)
+	return out
+}
+
+// EventCount counts recorded events of one kind.
+func (a *Audit) EventCount(kind string) int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, e := range a.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
 // TotalCost sums the recorded costs.
 func (a *Audit) TotalCost() float64 {
 	if a == nil {
@@ -94,6 +294,7 @@ func (a *Audit) Reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.calls = nil
+	a.events = nil
 }
 
 func (a *Audit) String() string {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -366,7 +367,7 @@ func TestInvokerFuncAdapter(t *testing.T) {
 	inv := InvokerFunc(func(call *doc.Node) ([]*doc.Node, error) {
 		return []*doc.Node{doc.TextNode(call.Label)}, nil
 	})
-	out, err := inv.Invoke(doc.Call("X"))
+	out, err := inv.Invoke(context.Background(), doc.Call("X"))
 	if err != nil || len(out) != 1 || out[0].Value != "X" {
 		t.Errorf("adapter broken: %v %v", out, err)
 	}

@@ -82,17 +82,55 @@ type Rewriter struct {
 	ctx *schema.Context
 }
 
+// DefaultDepth is the rewriting depth bound selected when RewriterConfig
+// leaves Depth zero.
+const DefaultDepth = 2
+
+// DefaultMaxCalls is the per-rewriting invocation budget selected when
+// RewriterConfig leaves MaxCalls zero.
+const DefaultMaxCalls = 10000
+
+// RewriterConfig is the options struct behind NewRewriterWithConfig — the
+// growth path that replaced the positional NewRewriter(sender, target, k,
+// inv) constructor. The zero value is usable: depth DefaultDepth, eager
+// engine, validated returns, strict parameters, a fresh Audit.
+type RewriterConfig struct {
+	// Depth bounds rewriting depth (Definition 7); 0 selects DefaultDepth.
+	Depth int
+	// Engine selects the word-level analysis (zero value: Eager).
+	Engine EngineKind
+	// Invoker performs service calls; nil configures a check-only rewriter.
+	Invoker Invoker
+	// Policies wrap Invoker with execution middleware (timeouts, retries,
+	// circuit breaking — see internal/invoke). Policies[0] is outermost.
+	Policies []InvokePolicy
+	// SkipValidation disables the receive-side output-instance check
+	// (Rewriter.ValidateReturns, inverted so the zero value validates).
+	SkipValidation bool
+	// LenientParams freezes functions whose parameters cannot be fixed
+	// instead of failing (Rewriter.StrictParams, inverted).
+	LenientParams bool
+	// MaxCalls caps invocations per rewriting; 0 selects DefaultMaxCalls.
+	MaxCalls int
+	// PreInvoke guards the Mixed mode's speculative pass.
+	PreInvoke func(*FuncInfo) bool
+	// Converters restructure non-conforming service results.
+	Converters Converters
+	// Audit receives the invocation trail; nil allocates a fresh one, so a
+	// configured rewriter always audits.
+	Audit *Audit
+}
+
 // NewRewriter builds a rewriter for the (sender, target) schema pair,
-// compiling the pair analysis from scratch. Callers serving many messages
-// over the same pair should compile once (or use a CompiledCache) and build
-// per-message rewriters with NewRewriterFor.
+// compiling the pair analysis from scratch. It is the thin compatibility
+// wrapper over NewRewriterWithConfig kept for the original positional API;
+// note it leaves Audit nil (callers set it), unlike the config path.
 func NewRewriter(sender, target *schema.Schema, k int, inv Invoker) *Rewriter {
 	return NewRewriterFor(Compile(sender, target), k, inv)
 }
 
-// NewRewriterFor builds a rewriter over an existing compiled analysis. The
-// rewriter itself is cheap per-message state; the Compiled may be shared by
-// any number of concurrent rewriters.
+// NewRewriterFor builds a rewriter over an existing compiled analysis — the
+// positional compatibility wrapper; see NewRewriterForConfig.
 func NewRewriterFor(c *Compiled, k int, inv Invoker) *Rewriter {
 	return &Rewriter{
 		Compiled:        c,
@@ -100,7 +138,54 @@ func NewRewriterFor(c *Compiled, k int, inv Invoker) *Rewriter {
 		Invoker:         inv,
 		ValidateReturns: true,
 		StrictParams:    true,
-		MaxCalls:        10000,
+		MaxCalls:        DefaultMaxCalls,
+		ctx:             schema.NewContext(c.Target, c.Sender),
+	}
+}
+
+// NewRewriterWithConfig builds a rewriter for the (sender, target) schema
+// pair from an options struct, compiling the pair analysis from scratch.
+// Callers serving many messages over the same pair should compile once (or
+// use a CompiledCache) and build per-message rewriters with
+// NewRewriterForConfig.
+func NewRewriterWithConfig(sender, target *schema.Schema, cfg RewriterConfig) *Rewriter {
+	return NewRewriterForConfig(Compile(sender, target), cfg)
+}
+
+// NewRewriterForConfig builds a rewriter over an existing compiled analysis
+// from an options struct. The rewriter itself is cheap per-message state; the
+// Compiled may be shared by any number of concurrent rewriters. Stateful
+// policies (circuit breakers, concurrency limits) are instantiated here: to
+// share breaker state across messages, wrap one Invoker with ApplyPolicies
+// once and pass the result instead.
+func NewRewriterForConfig(c *Compiled, cfg RewriterConfig) *Rewriter {
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = DefaultDepth
+	}
+	maxCalls := cfg.MaxCalls
+	if maxCalls == 0 {
+		maxCalls = DefaultMaxCalls
+	}
+	audit := cfg.Audit
+	if audit == nil {
+		audit = &Audit{}
+	}
+	inv := cfg.Invoker
+	if inv != nil {
+		inv = ApplyPolicies(inv, cfg.Policies)
+	}
+	return &Rewriter{
+		Compiled:        c,
+		K:               depth,
+		Engine:          cfg.Engine,
+		Invoker:         inv,
+		ValidateReturns: !cfg.SkipValidation,
+		StrictParams:    !cfg.LenientParams,
+		MaxCalls:        maxCalls,
+		PreInvoke:       cfg.PreInvoke,
+		Converters:      cfg.Converters,
+		Audit:           audit,
 		ctx:             schema.NewContext(c.Target, c.Sender),
 	}
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"axml/internal/doc"
 	"axml/internal/schema"
@@ -27,7 +30,7 @@ type flakyInvoker struct {
 
 var errInjected = errors.New("injected service failure")
 
-func (f *flakyInvoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
+func (f *flakyInvoker) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
 	f.calls++
 	if f.failEvery > 0 && f.calls%f.failEvery == 0 {
 		return nil, errInjected
@@ -35,7 +38,7 @@ func (f *flakyInvoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
 	if f.garbageEvery > 0 && f.calls%f.garbageEvery == 0 {
 		return []*doc.Node{doc.Elem("garbage-element-nobody-declared")}, nil
 	}
-	return f.inner.Invoke(call)
+	return f.inner.Invoke(ctx, call)
 }
 
 // Property: rewriting random instances under every mode either succeeds with
@@ -139,5 +142,102 @@ func Get_Temp = city -> temp
 	}
 	if out != nil {
 		t.Error("failed rewriting should not return a document")
+	}
+}
+
+// hangingInvoker blocks every call until its context is cancelled — a remote
+// service that never answers. started is signalled once per call so tests can
+// cancel only after the rewriting is provably inside an invocation.
+type hangingInvoker struct {
+	started chan struct{}
+}
+
+func (h *hangingInvoker) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+	select {
+	case h.started <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCancellationMidRewrite: a rewriting stuck in a hung service call must
+// return promptly when its context's deadline fires, report the context error,
+// leave the input document unmodified, keep the Audit consistent (the hung
+// call never completed, so no CallRecord), and leak no goroutines.
+func TestCancellationMidRewrite(t *testing.T) {
+	s := schema.MustParseText(`
+root page
+elem page = temp
+elem temp = data
+elem city = data
+func Get_Temp = city -> temp
+`, nil)
+	inv := &hangingInvoker{started: make(chan struct{}, 1)}
+	rw := NewRewriterWithConfig(s, s, RewriterConfig{Depth: 1, Invoker: inv})
+
+	root := doc.Elem("page", doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("x"))))
+	snapshot := root.Clone()
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out, err := rw.RewriteDocumentContext(ctx, root, Safe)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v (out=%v)", err, out)
+	}
+	if out != nil {
+		t.Error("cancelled rewriting should not return a document")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; should be prompt", elapsed)
+	}
+	if !root.Equal(snapshot) {
+		t.Error("input document was modified by a cancelled rewriting")
+	}
+	if n := rw.Audit.Len(); n != 0 {
+		t.Errorf("hung call never completed but audit has %d records", n)
+	}
+	// The hung invoker returns when ctx is done, so no goroutine should
+	// outlive the call; allow scheduler slack before comparing.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew from %d to %d after cancellation", before, after)
+	}
+}
+
+// TestCancellationBeforeStart: an already-cancelled context fails the
+// rewriting before any service call is attempted.
+func TestCancellationBeforeStart(t *testing.T) {
+	s := schema.MustParseText(`
+root page
+elem page = temp
+elem temp = data
+elem city = data
+func Get_Temp = city -> temp
+`, nil)
+	calls := 0
+	inv := ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+		calls++
+		return []*doc.Node{doc.Elem("temp", doc.TextNode("20"))}, nil
+	})
+	rw := NewRewriterWithConfig(s, s, RewriterConfig{Depth: 1, Invoker: inv})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	root := doc.Elem("page", doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("x"))))
+	if _, err := rw.RewriteDocumentContext(ctx, root, Safe); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("invoker was called %d times under a dead context", calls)
 	}
 }

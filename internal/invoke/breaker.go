@@ -1,0 +1,140 @@
+package invoke
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+)
+
+// ErrBreakerOpen is the cause carried by *PolicyError when a call is
+// short-circuited by an open breaker.
+var ErrBreakerOpen = errors.New("invoke: circuit breaker open")
+
+// Breaker configures WithBreaker: a simple consecutive-failure circuit
+// breaker kept per endpoint. Closed until Failures consecutive failures,
+// then open for Cooldown (calls fail fast with ErrBreakerOpen), then
+// half-open: one probe call is let through, closing the circuit on success
+// and re-opening it on failure.
+type Breaker struct {
+	// Failures is the consecutive-failure threshold that opens the circuit;
+	// values below 1 select DefaultBreakerFailures.
+	Failures int
+	// Cooldown is how long an open circuit rejects calls before probing;
+	// 0 selects DefaultBreakerCooldown.
+	Cooldown time.Duration
+	// Now supplies the clock; nil selects time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 30 * time.Second
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// endpointBreaker is the per-endpoint state machine.
+type endpointBreaker struct {
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// WithBreaker installs a per-endpoint circuit breaker. State is owned by
+// this policy instance: wrap one shared invoker to make breaker memory span
+// messages (peers do exactly that), or build per-rewriter chains for
+// isolated state. Transitions and rejections are reported as breaker-*
+// events.
+func WithBreaker(cfg Breaker) Policy {
+	threshold := cfg.Failures
+	if threshold < 1 {
+		threshold = DefaultBreakerFailures
+	}
+	cooldown := cfg.Cooldown
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	var mu sync.Mutex
+	states := make(map[string]*endpointBreaker)
+	return func(next core.Invoker) core.Invoker {
+		return core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+			endpoint := core.EndpointOf(call)
+			mu.Lock()
+			b := states[endpoint]
+			if b == nil {
+				b = &endpointBreaker{}
+				states[endpoint] = b
+			}
+			switch b.state {
+			case breakerOpen:
+				if now().Sub(b.openedAt) < cooldown {
+					mu.Unlock()
+					core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+						Kind: core.EventBreakerReject, Err: ErrBreakerOpen.Error()})
+					return nil, &PolicyError{Policy: "breaker", Func: call.Label,
+						Endpoint: endpoint, Err: ErrBreakerOpen}
+				}
+				b.state = breakerHalfOpen
+				b.probing = false
+				core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+					Kind: core.EventBreakerHalfOpen})
+			case breakerHalfOpen:
+				if b.probing {
+					// Only one probe at a time; concurrent calls fail fast.
+					mu.Unlock()
+					core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+						Kind: core.EventBreakerReject, Err: ErrBreakerOpen.Error()})
+					return nil, &PolicyError{Policy: "breaker", Func: call.Label,
+						Endpoint: endpoint, Err: ErrBreakerOpen}
+				}
+			}
+			if b.state == breakerHalfOpen {
+				b.probing = true
+			}
+			mu.Unlock()
+
+			res, err := next.Invoke(ctx, call)
+
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				if b.state != breakerClosed {
+					core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+						Kind: core.EventBreakerClose})
+				}
+				b.state = breakerClosed
+				b.failures = 0
+				b.probing = false
+				return res, nil
+			}
+			b.probing = false
+			b.failures++
+			if b.state == breakerHalfOpen || b.failures >= threshold {
+				if b.state != breakerOpen {
+					core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+						Kind: core.EventBreakerOpen, Err: err.Error()})
+				}
+				b.state = breakerOpen
+				b.openedAt = now()
+				b.failures = 0
+			}
+			return nil, err
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package invoke
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+)
+
+// ErrInjected is the default error injected by FaultError faults.
+var ErrInjected = errors.New("invoke: injected fault")
+
+// FaultKind selects the behavior of one scheduled fault.
+type FaultKind uint8
+
+const (
+	// FaultNone passes the call through to the inner invoker.
+	FaultNone FaultKind = iota
+	// FaultError fails the call with Fault.Err (default ErrInjected).
+	FaultError
+	// FaultLatency delays by Fault.Latency, then delegates; the delay
+	// respects the call context.
+	FaultLatency
+	// FaultHang blocks until the call context is done, then returns its
+	// error — a service that never answers.
+	FaultHang
+	// FaultGarbage returns Fault.Result instead of calling the service — a
+	// service answering outside its declared output type.
+	FaultGarbage
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultLatency:
+		return "latency"
+	case FaultHang:
+		return "hang"
+	case FaultGarbage:
+		return "garbage"
+	default:
+		return "fault"
+	}
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind FaultKind
+	// Err is returned by FaultError faults; nil selects ErrInjected.
+	Err error
+	// Latency is the FaultLatency delay.
+	Latency time.Duration
+	// Result is the forest returned by FaultGarbage faults.
+	Result []*doc.Node
+}
+
+// FaultInjector wraps an invoker with a deterministic fault schedule, the
+// adversarial counterpart of the safe-rewriting analysis: per function label
+// (or the "*" catch-all), the n-th call consumes the n-th scheduled fault;
+// past the end of the schedule, calls pass through. No randomness is
+// involved, so every test run exercises exactly the same failure sequence.
+type FaultInjector struct {
+	// Inner handles calls whose fault is FaultNone or whose schedule is
+	// exhausted. Required unless every call hits a terminal fault.
+	Inner core.Invoker
+
+	mu    sync.Mutex
+	plan  map[string][]Fault
+	calls map[string]int
+	total int
+}
+
+// NewFaultInjector wraps inner with an empty schedule.
+func NewFaultInjector(inner core.Invoker) *FaultInjector {
+	return &FaultInjector{Inner: inner, plan: map[string][]Fault{}, calls: map[string]int{}}
+}
+
+// Plan appends faults to the schedule for function label fn ("*" applies to
+// every label without its own schedule). It returns the injector for
+// chaining.
+func (fi *FaultInjector) Plan(fn string, faults ...Fault) *FaultInjector {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.plan == nil {
+		fi.plan = map[string][]Fault{}
+	}
+	fi.plan[fn] = append(fi.plan[fn], faults...)
+	return fi
+}
+
+// Calls reports how many invocations label fn has received.
+func (fi *FaultInjector) Calls(fn string) int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.calls[fn]
+}
+
+// TotalCalls reports the overall invocation count.
+func (fi *FaultInjector) TotalCalls() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.total
+}
+
+// next pops the scheduled fault for this call, counting it.
+func (fi *FaultInjector) next(label string) Fault {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.calls == nil {
+		fi.calls = map[string]int{}
+	}
+	n := fi.calls[label]
+	fi.calls[label] = n + 1
+	fi.total++
+	sched, ok := fi.plan[label]
+	if !ok {
+		sched = fi.plan["*"]
+	}
+	if n < len(sched) {
+		return sched[n]
+	}
+	return Fault{Kind: FaultNone}
+}
+
+// Invoke implements core.Invoker.
+func (fi *FaultInjector) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+	f := fi.next(call.Label)
+	if f.Kind != FaultNone {
+		core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: core.EndpointOf(call),
+			Kind: core.EventFault, Err: f.Kind.String()})
+	}
+	switch f.Kind {
+	case FaultError:
+		if f.Err != nil {
+			return nil, f.Err
+		}
+		return nil, ErrInjected
+	case FaultLatency:
+		if err := sleepCtx(ctx, f.Latency); err != nil {
+			return nil, err
+		}
+	case FaultHang:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	case FaultGarbage:
+		return f.Result, nil
+	}
+	if fi.Inner == nil {
+		return nil, ErrInjected
+	}
+	return fi.Inner.Invoke(ctx, call)
+}
+
+var _ core.Invoker = (*FaultInjector)(nil)

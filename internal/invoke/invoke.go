@@ -1,0 +1,256 @@
+// Package invoke is the invocation middleware layer between the rewriting
+// executor (internal/core) and the transports that actually reach services
+// (internal/service, internal/soap): composable policies that discipline how
+// the calls a rewriting schedules are executed on a network where slow,
+// flaky and hung endpoints are the norm.
+//
+// A policy is a core.InvokePolicy — a function wrapping one core.Invoker in
+// another. Chain composes them; the conventional order, outermost first, is
+//
+//	Chain(transport,
+//	    WithConcurrencyLimit(64),        // bound simultaneous calls
+//	    WithBreaker(Breaker{}),          // fail fast on dead endpoints
+//	    WithRetry(Retry{Attempts: 3}),   // absorb transient errors
+//	    WithTimeout(2*time.Second),      // bound each attempt
+//	)
+//
+// so that every retry attempt gets its own timeout, the breaker counts
+// post-retry outcomes, and the semaphore covers the whole exchange.
+//
+// Policy failures (budget exhausted, per-call timeout, open breaker) surface
+// as *PolicyError, which core classifies as transient: Possible- and
+// Mixed-mode rewritings degrade them to backtracking instead of aborting.
+// Every attempt, backoff pause and breaker transition is reported through
+// the context's core.EventSink — the rewriting's Audit, when one is set.
+//
+// The package also provides FaultInjector, a deterministic
+// error/latency/hang/garbage schedule wrapper used by the fault-injection
+// test suites.
+package invoke
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+)
+
+// defaultRand is the jitter source when none is injected; the global
+// math/rand source is safe for concurrent use.
+func defaultRand() float64 { return rand.Float64() }
+
+// Policy aliases core.InvokePolicy: middleware over core.Invoker.
+type Policy = core.InvokePolicy
+
+// Chain wraps inv so that policies[0] is the outermost layer.
+func Chain(inv core.Invoker, policies ...Policy) core.Invoker {
+	return core.ApplyPolicies(inv, policies)
+}
+
+// PolicyError reports an invocation stopped by the policy chain rather than
+// answered by the service: retry budget exhausted, per-call timeout, open
+// circuit breaker, cancelled semaphore wait. It marks itself transient, so
+// Possible/Mixed rewritings backtrack over it (core.IsTransientCall).
+type PolicyError struct {
+	// Policy names the layer that stopped the call: "retry", "timeout",
+	// "breaker" or "limit".
+	Policy string
+	// Func and Endpoint identify the call.
+	Func     string
+	Endpoint string
+	// Attempts counts delivery attempts actually made.
+	Attempts int
+	// Err is the underlying cause (last attempt error, context error, or
+	// ErrBreakerOpen).
+	Err error
+}
+
+func (e *PolicyError) Error() string {
+	return fmt.Sprintf("invoke: %s policy stopped %q (endpoint %s, %d attempts): %v",
+		e.Policy, e.Func, e.Endpoint, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *PolicyError) Unwrap() error { return e.Err }
+
+// TransientCall implements core.TransientCallError.
+func (e *PolicyError) TransientCall() bool { return true }
+
+// WithTimeout bounds each call (each retry attempt, when stacked inside
+// WithRetry) to d. The deadline reaches the transport through the context;
+// when it fires the call fails with a *PolicyError wrapping
+// context.DeadlineExceeded. A transport that ignores its context cannot be
+// interrupted — every invoker in this codebase honors it.
+func WithTimeout(d time.Duration) Policy {
+	return func(next core.Invoker) core.Invoker {
+		return core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+			tctx, cancel := context.WithTimeout(ctx, d)
+			defer cancel()
+			res, err := next.Invoke(tctx, call)
+			if err != nil && tctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+				core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: core.EndpointOf(call),
+					Kind: core.EventTimeout, Err: err.Error()})
+				return nil, &PolicyError{Policy: "timeout", Func: call.Label,
+					Endpoint: core.EndpointOf(call), Attempts: 1, Err: context.DeadlineExceeded}
+			}
+			return res, err
+		})
+	}
+}
+
+// Retry configures WithRetry. The zero value means: up to DefaultAttempts
+// attempts, exponential backoff from DefaultBaseDelay capped at
+// DefaultMaxDelay, full jitter disabled (deterministic), every error
+// retryable.
+type Retry struct {
+	// Attempts is the total number of delivery attempts (not re-tries);
+	// values below 1 select DefaultAttempts.
+	Attempts int
+	// BaseDelay is the pause before the second attempt; 0 selects
+	// DefaultBaseDelay. The pause doubles (times Multiplier) per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the pause; 0 selects DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Multiplier scales the pause between attempts; values below 1 select 2.
+	Multiplier float64
+	// Jitter, in [0,1], randomizes each pause to pause*(1-Jitter+Jitter*u)
+	// with u uniform in [0,1) — spreading synchronized retry storms. 0 keeps
+	// the schedule deterministic.
+	Jitter float64
+	// Rand supplies the jitter's uniform samples; nil selects math/rand.
+	// Tests inject a fixed source for determinism.
+	Rand func() float64
+	// Retryable decides which errors are worth another attempt; nil retries
+	// everything except context cancellation.
+	Retryable func(error) bool
+	// Sleep pauses between attempts; nil selects a context-aware timer wait.
+	// Tests inject an instant sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Retry defaults.
+const (
+	DefaultAttempts  = 3
+	DefaultBaseDelay = 50 * time.Millisecond
+	DefaultMaxDelay  = 5 * time.Second
+)
+
+// WithRetry retries failed calls with exponential backoff. Exhausting the
+// budget yields a *PolicyError (transient); a non-retryable error or a done
+// context surfaces as-is.
+func WithRetry(cfg Retry) Policy {
+	attempts := cfg.Attempts
+	if attempts < 1 {
+		attempts = DefaultAttempts
+	}
+	base := cfg.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxd := cfg.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultMaxDelay
+	}
+	mult := cfg.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	return func(next core.Invoker) core.Invoker {
+		return core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+			endpoint := core.EndpointOf(call)
+			delay := base
+			var lastErr error
+			for attempt := 1; attempt <= attempts; attempt++ {
+				core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+					Kind: core.EventAttempt, Attempt: attempt})
+				res, err := next.Invoke(ctx, call)
+				if err == nil {
+					return res, nil
+				}
+				lastErr = err
+				if ctx.Err() != nil {
+					return nil, err
+				}
+				if cfg.Retryable != nil && !cfg.Retryable(err) {
+					return nil, err
+				}
+				if attempt == attempts {
+					break
+				}
+				wait := jitter(delay, cfg.Jitter, cfg.Rand)
+				core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+					Kind: core.EventRetryWait, Attempt: attempt, Wait: wait, Err: err.Error()})
+				if serr := sleep(ctx, wait); serr != nil {
+					return nil, serr
+				}
+				delay = time.Duration(float64(delay) * mult)
+				if delay > maxd {
+					delay = maxd
+				}
+			}
+			core.Emit(ctx, core.InvokeEvent{Func: call.Label, Endpoint: endpoint,
+				Kind: core.EventExhausted, Attempt: attempts, Err: lastErr.Error()})
+			return nil, &PolicyError{Policy: "retry", Func: call.Label, Endpoint: endpoint,
+				Attempts: attempts, Err: lastErr}
+		})
+	}
+}
+
+// WithConcurrencyLimit bounds the number of simultaneous calls flowing
+// through the chain to n; excess callers wait (respecting their context).
+// The semaphore is shared by every invoker this policy instance wraps.
+func WithConcurrencyLimit(n int) Policy {
+	if n < 1 {
+		n = 1
+	}
+	sem := make(chan struct{}, n)
+	return func(next core.Invoker) core.Invoker {
+		return core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, &PolicyError{Policy: "limit", Func: call.Label,
+					Endpoint: core.EndpointOf(call), Err: ctx.Err()}
+			}
+			defer func() { <-sem }()
+			return next.Invoke(ctx, call)
+		})
+	}
+}
+
+// sleepCtx waits d or until the context is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitter spreads a backoff pause: d*(1-j) plus a random fraction of d*j.
+func jitter(d time.Duration, j float64, rnd func() float64) time.Duration {
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	if rnd == nil {
+		rnd = defaultRand
+	}
+	f := 1 - j + j*rnd()
+	return time.Duration(float64(d) * f)
+}

@@ -29,8 +29,8 @@ func (p *Peer) Handler() http.Handler {
 	mux.Handle("/soap", &soap.Server{
 		Registry:        p.Services,
 		Namespace:       "urn:axml:" + p.Name,
-		OnRequest:       p.EnforceIn,
-		OnResponse:      p.EnforceOut,
+		OnRequest:       p.EnforceInContext,
+		OnResponse:      p.EnforceOutContext,
 		MaxRequestBytes: p.MaxRequestBytes,
 	})
 	mux.HandleFunc("/wsdl", p.handleWSDL)
@@ -92,7 +92,7 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	out, err := p.SendDocument(name, exchange, mode)
+	out, err := p.SendDocumentContext(r.Context(), name, exchange, mode)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if strings.Contains(err.Error(), "no document") {

@@ -1,7 +1,9 @@
 package peer
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"axml/internal/core"
 	"axml/internal/doc"
@@ -43,6 +45,15 @@ type Peer struct {
 	// MaxRequestBytes caps SOAP request bodies accepted by Handler; 0
 	// selects soap.DefaultMaxRequestBytes, negative disables the limit.
 	MaxRequestBytes int64
+	// Policies discipline every invocation enforcement rewritings perform
+	// (per-call timeouts, retries, circuit breaking — see internal/invoke).
+	// Policies[0] is outermost. Set before the peer serves traffic: the
+	// wrapped invoker is built once on first use so stateful policies
+	// (breakers, concurrency limits) persist across messages.
+	Policies []core.InvokePolicy
+
+	invOnce sync.Once
+	inv     core.Invoker
 }
 
 // New creates a peer over the given schema.
@@ -60,7 +71,8 @@ func New(name string, s *schema.Schema) *Peer {
 }
 
 // Invoker resolves function nodes: locally registered operations first, then
-// the remote transport.
+// the remote transport. The result is not policy-wrapped; enforcement
+// rewritings go through the cached policy chain instead (see Policies).
 func (p *Peer) Invoker() core.Invoker {
 	if p.Remote == nil {
 		return p.Services
@@ -68,12 +80,21 @@ func (p *Peer) Invoker() core.Invoker {
 	return service.Chain{p.Services, p.Remote}
 }
 
+// policyInvoker returns the peer's invoker wrapped in its policy chain,
+// built once so breaker and limiter state spans messages.
+func (p *Peer) policyInvoker() core.Invoker {
+	p.invOnce.Do(func() {
+		p.inv = core.ApplyPolicies(p.Invoker(), p.Policies)
+	})
+	return p.inv
+}
+
 // rewriter builds an enforcement rewriter against a target schema (which
 // must share the peer schema's symbol table). The expensive schema-pair
 // analysis comes from the Enforcement cache; only the cheap per-message
 // rewriter state is fresh.
 func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
-	rw := core.NewRewriterFor(p.Enforcement.Get(p.Schema, target), p.K, p.Invoker())
+	rw := core.NewRewriterFor(p.Enforcement.Get(p.Schema, target), p.K, p.policyInvoker())
 	rw.Audit = p.Audit
 	return rw
 }
@@ -82,13 +103,20 @@ func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
 // repository document just enough to conform to the receiver's exchange
 // schema, and return the result. The repository copy is left untouched —
 // the same document can be sent to differently-abled receivers.
+// Context-free wrapper over SendDocumentContext.
 func (p *Peer) SendDocument(name string, exchange *schema.Schema, mode core.Mode) (*doc.Node, error) {
+	return p.SendDocumentContext(context.Background(), name, exchange, mode)
+}
+
+// SendDocumentContext is SendDocument under a context: the enforcement
+// rewriting and every service call it schedules abort once ctx is done.
+func (p *Peer) SendDocumentContext(ctx context.Context, name string, exchange *schema.Schema, mode core.Mode) (*doc.Node, error) {
 	d, ok := p.Repo.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("peer %s: no document %q", p.Name, name)
 	}
 	rw := p.rewriter(exchange)
-	out, err := rw.RewriteDocument(d, mode)
+	out, err := rw.RewriteDocumentContext(ctx, d, mode)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: sending %q: %w", p.Name, name, err)
 	}
@@ -96,31 +124,44 @@ func (p *Peer) SendDocument(name string, exchange *schema.Schema, mode core.Mode
 }
 
 // Materialize rewrites a repository document in place against the peer's own
-// schema — the "active" enrichment feature.
+// schema — the "active" enrichment feature. Context-free wrapper over
+// MaterializeContext.
 func (p *Peer) Materialize(name string, mode core.Mode) error {
+	return p.MaterializeContext(context.Background(), name, mode)
+}
+
+// MaterializeContext is Materialize under a context.
+func (p *Peer) MaterializeContext(ctx context.Context, name string, mode core.Mode) error {
 	return p.Repo.Update(name, func(d *doc.Node) (*doc.Node, error) {
 		rw := p.rewriter(p.Schema)
-		return rw.RewriteDocument(d.Clone(), mode)
+		return rw.RewriteDocumentContext(ctx, d.Clone(), mode)
 	})
 }
 
 // EnforceIn implements the receive-side of the Schema Enforcement module:
 // incoming parameters must be (or be rewritten into) an input instance of
-// the operation's declared signature.
+// the operation's declared signature. Context-free wrapper over
+// EnforceInContext.
 func (p *Peer) EnforceIn(method string, params []*doc.Node) ([]*doc.Node, error) {
+	return p.EnforceInContext(context.Background(), method, params)
+}
+
+// EnforceInContext is EnforceIn under a context; Handler wires the request
+// context through it, so a disconnected client stops the rewriting.
+func (p *Peer) EnforceInContext(ctx context.Context, method string, params []*doc.Node) ([]*doc.Node, error) {
 	typ, isData, ok := p.inputType(method)
 	if !ok {
 		return nil, fmt.Errorf("peer %s: operation %q is not declared", p.Name, method)
 	}
-	ctx := schema.NewContext(p.Schema, nil)
-	if err := ctx.IsInputInstance(method, params); err == nil {
+	sctx := schema.NewContext(p.Schema, nil)
+	if err := sctx.IsInputInstance(method, params); err == nil {
 		return params, nil // (i) conforms as-is
 	}
 	if isData {
 		return nil, fmt.Errorf("peer %s: %q expects atomic data parameters", p.Name, method)
 	}
 	rw := p.rewriter(p.Schema)
-	out, err := rw.RewriteForest(params, typ, p.Mode) // (ii) try to rewrite
+	out, err := rw.RewriteForestContext(ctx, params, typ, p.Mode) // (ii) try to rewrite
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: parameters of %q: %w", p.Name, method, err) // (iii) report
 	}
@@ -128,21 +169,27 @@ func (p *Peer) EnforceIn(method string, params []*doc.Node) ([]*doc.Node, error)
 }
 
 // EnforceOut is the send-side: results must conform to the declared output
-// type before leaving the peer.
+// type before leaving the peer. Context-free wrapper over
+// EnforceOutContext.
 func (p *Peer) EnforceOut(method string, result []*doc.Node) ([]*doc.Node, error) {
+	return p.EnforceOutContext(context.Background(), method, result)
+}
+
+// EnforceOutContext is EnforceOut under a context.
+func (p *Peer) EnforceOutContext(ctx context.Context, method string, result []*doc.Node) ([]*doc.Node, error) {
 	def := p.Schema.Funcs[method]
 	if def == nil {
 		return nil, fmt.Errorf("peer %s: operation %q is not declared", p.Name, method)
 	}
-	ctx := schema.NewContext(p.Schema, nil)
-	if err := ctx.IsOutputInstance(method, result); err == nil {
+	sctx := schema.NewContext(p.Schema, nil)
+	if err := sctx.IsOutputInstance(method, result); err == nil {
 		return result, nil
 	}
 	if def.Out == nil {
 		return nil, fmt.Errorf("peer %s: %q must return atomic data", p.Name, method)
 	}
 	rw := p.rewriter(p.Schema)
-	out, err := rw.RewriteForest(result, def.Out, p.Mode)
+	out, err := rw.RewriteForestContext(ctx, result, def.Out, p.Mode)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: result of %q: %w", p.Name, method, err)
 	}
@@ -160,11 +207,19 @@ func (p *Peer) inputType(method string) (r *regex.Regex, isData, ok bool) {
 	return def.In, false, true
 }
 
-// Call invokes an operation on a remote peer with client-side enforcement:
-// the parameters are first rewritten into the remote's declared input type
-// (materializing whatever the remote should not or cannot evaluate), and the
-// result is validated against the declared output type.
+// Call invokes an operation on a remote peer with client-side enforcement —
+// the context-free wrapper over CallContext.
 func (p *Peer) Call(desc *wsdl.Description, method string, params []*doc.Node, mode core.Mode) ([]*doc.Node, error) {
+	return p.CallContext(context.Background(), desc, method, params, mode)
+}
+
+// CallContext invokes an operation on a remote peer with client-side
+// enforcement: the parameters are first rewritten into the remote's declared
+// input type (materializing whatever the remote should not or cannot
+// evaluate), and the result is validated against the declared output type.
+// The context governs both the local enforcement rewriting and the remote
+// round trip.
+func (p *Peer) CallContext(ctx context.Context, desc *wsdl.Description, method string, params []*doc.Node, mode core.Mode) ([]*doc.Node, error) {
 	def := desc.Schema.Funcs[method]
 	if def == nil {
 		return nil, fmt.Errorf("peer %s: %q is not an operation of service %q", p.Name, method, desc.Name)
@@ -174,7 +229,7 @@ func (p *Peer) Call(desc *wsdl.Description, method string, params []*doc.Node, m
 	}
 	if def.In != nil {
 		rw := p.rewriter(desc.Schema)
-		out, err := rw.RewriteForest(params, def.In, mode)
+		out, err := rw.RewriteForestContext(ctx, params, def.In, mode)
 		if err != nil {
 			return nil, fmt.Errorf("peer %s: parameters for %s.%s: %w", p.Name, desc.Name, method, err)
 		}
@@ -185,12 +240,12 @@ func (p *Peer) Call(desc *wsdl.Description, method string, params []*doc.Node, m
 		endpoint = desc.Endpoint
 	}
 	client := &soap.Client{Endpoint: endpoint, Namespace: desc.TargetNamespace}
-	result, err := client.Call(method, params)
+	result, err := client.CallContext(ctx, method, params)
 	if err != nil {
 		return nil, err
 	}
-	ctx := schema.NewContext(desc.Schema, p.Schema)
-	if err := ctx.IsOutputInstance(method, result); err != nil {
+	sctx := schema.NewContext(desc.Schema, p.Schema)
+	if err := sctx.IsOutputInstance(method, result); err != nil {
 		return nil, fmt.Errorf("peer %s: %s.%s returned non-conforming data: %w", p.Name, desc.Name, method, err)
 	}
 	return result, nil

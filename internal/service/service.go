@@ -10,6 +10,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,16 +22,25 @@ import (
 )
 
 // Handler implements one service operation: parameters in, result forest
-// out. Handlers must not retain or mutate the parameter nodes.
+// out. Handlers must not retain or mutate the parameter nodes. Operations
+// that can block should use a ContextHandler instead, so the caller's
+// deadline reaches them.
 type Handler func(params []*doc.Node) ([]*doc.Node, error)
+
+// ContextHandler is a context-aware operation implementation; it wins over
+// Handler when both are set.
+type ContextHandler func(ctx context.Context, params []*doc.Node) ([]*doc.Node, error)
 
 // Operation is a registered service operation.
 type Operation struct {
 	Name string
 	// Def is the WSDL-level description: signature, cost, side effects.
 	Def *schema.FuncDef
-	// Handler executes the operation.
+	// Handler executes the operation (context-free legacy form).
 	Handler Handler
+	// ContextHandler, when set, executes the operation under the caller's
+	// context and takes precedence over Handler.
+	ContextHandler ContextHandler
 }
 
 // Registry holds the operations a peer provides. It is safe for concurrent
@@ -48,7 +58,7 @@ func NewRegistry() *Registry {
 // Register adds an operation; it replaces any previous one with the same
 // name.
 func (r *Registry) Register(op *Operation) error {
-	if op == nil || op.Name == "" || op.Handler == nil {
+	if op == nil || op.Name == "" || (op.Handler == nil && op.ContextHandler == nil) {
 		return fmt.Errorf("service: operation needs a name and a handler")
 	}
 	r.mu.Lock()
@@ -88,19 +98,33 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// Call executes an operation by name.
+// Call executes an operation by name — the context-free wrapper over
+// CallContext.
 func (r *Registry) Call(name string, params []*doc.Node) ([]*doc.Node, error) {
+	return r.CallContext(context.Background(), name, params)
+}
+
+// CallContext executes an operation by name under the caller's context.
+// Context-free handlers are checked for cancellation before they run but
+// cannot be interrupted once started.
+func (r *Registry) CallContext(ctx context.Context, name string, params []*doc.Node) ([]*doc.Node, error) {
 	op, ok := r.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown operation %q", name)
+	}
+	if op.ContextHandler != nil {
+		return op.ContextHandler(ctx, params)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return op.Handler(params)
 }
 
 // Invoke implements core.Invoker: the function node's label selects the
 // operation, its children are the parameters.
-func (r *Registry) Invoke(call *doc.Node) ([]*doc.Node, error) {
-	return r.Call(call.Label, call.Children)
+func (r *Registry) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+	return r.CallContext(ctx, call.Label, call.Children)
 }
 
 var _ core.Invoker = (*Registry)(nil)
@@ -111,10 +135,13 @@ var _ core.Invoker = (*Registry)(nil)
 type Chain []core.Invoker
 
 // Invoke implements core.Invoker.
-func (c Chain) Invoke(call *doc.Node) ([]*doc.Node, error) {
+func (c Chain) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
 	var lastErr error
 	for _, inv := range c {
-		out, err := inv.Invoke(call)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := inv.Invoke(ctx, call)
 		if err == nil {
 			return out, nil
 		}

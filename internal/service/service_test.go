@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestRegistryInvoke(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := r.Invoke(doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))))
+	out, err := r.Invoke(context.Background(), doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))))
 	if err != nil || len(out) != 1 {
 		t.Fatalf("Invoke = %v, %v", out, err)
 	}
@@ -75,14 +76,14 @@ func TestChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	chain := Chain{first, second}
-	out, err := chain.Invoke(doc.Call("Remote"))
+	out, err := chain.Invoke(context.Background(), doc.Call("Remote"))
 	if err != nil || len(out) != 1 {
 		t.Fatalf("chain fallthrough failed: %v, %v", out, err)
 	}
-	if _, err := chain.Invoke(doc.Call("Nowhere")); err == nil {
+	if _, err := chain.Invoke(context.Background(), doc.Call("Nowhere")); err == nil {
 		t.Error("unresolvable call should error")
 	}
-	if _, err := (Chain{}).Invoke(doc.Call("X")); err == nil || !strings.Contains(err.Error(), "empty") {
+	if _, err := (Chain{}).Invoke(context.Background(), doc.Call("X")); err == nil || !strings.Contains(err.Error(), "empty") {
 		t.Errorf("empty chain error = %v", err)
 	}
 }
@@ -100,7 +101,7 @@ func TestChainStopsOnSuccess(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Chain{first, second}).Invoke(doc.Call("Op")); err != nil {
+	if _, err := (Chain{first, second}).Invoke(context.Background(), doc.Call("Op")); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,10 +43,13 @@ var DefaultClient = &http.Client{Timeout: DefaultTimeout}
 type Server struct {
 	Registry  *service.Registry
 	Namespace string
-	// OnRequest intercepts decoded parameters before dispatch.
-	OnRequest func(method string, params []*doc.Node) ([]*doc.Node, error)
-	// OnResponse intercepts results before they are written back.
-	OnResponse func(method string, result []*doc.Node) ([]*doc.Node, error)
+	// OnRequest intercepts decoded parameters before dispatch, under the
+	// request's context: a client disconnect cancels the enforcement
+	// rewriting it triggers.
+	OnRequest func(ctx context.Context, method string, params []*doc.Node) ([]*doc.Node, error)
+	// OnResponse intercepts results before they are written back, under the
+	// request's context.
+	OnResponse func(ctx context.Context, method string, result []*doc.Node) ([]*doc.Node, error)
 	// MaxRequestBytes caps the request body; 0 selects
 	// DefaultMaxRequestBytes, negative disables the limit.
 	MaxRequestBytes int64
@@ -78,19 +82,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	params := req.Params
 	if s.OnRequest != nil {
-		params, err = s.OnRequest(req.Method, params)
+		params, err = s.OnRequest(r.Context(), req.Method, params)
 		if err != nil {
 			s.fault(w, http.StatusBadRequest, "soap:Client", err)
 			return
 		}
 	}
-	result, err := s.Registry.Call(req.Method, params)
+	result, err := s.Registry.CallContext(r.Context(), req.Method, params)
 	if err != nil {
 		s.fault(w, http.StatusInternalServerError, "soap:Server", err)
 		return
 	}
 	if s.OnResponse != nil {
-		result, err = s.OnResponse(req.Method, result)
+		result, err = s.OnResponse(r.Context(), req.Method, result)
 		if err != nil {
 			s.fault(w, http.StatusInternalServerError, "soap:Server", err)
 			return
@@ -123,12 +127,20 @@ type Client struct {
 	MaxResponseBytes int64
 }
 
-// Call performs one SOAP request/response round trip. HTTP-level failures
-// are reported as such: a SOAP fault in the body (whatever the status code)
-// surfaces as *Fault, while a non-SOAP error body — a proxy error page, a
-// plain-text http.Error — yields an error carrying the HTTP status and a
-// bounded excerpt instead of a confusing XML parse error.
+// Call performs one SOAP request/response round trip — the context-free
+// wrapper over CallContext.
 func (c *Client) Call(method string, params []*doc.Node) ([]*doc.Node, error) {
+	return c.CallContext(context.Background(), method, params)
+}
+
+// CallContext performs one SOAP request/response round trip under a context:
+// cancellation or deadline expiry interrupts the connection, the in-flight
+// request and the body read. HTTP-level failures are reported as such: a
+// SOAP fault in the body (whatever the status code) surfaces as *Fault,
+// while a non-SOAP error body — a proxy error page, a plain-text http.Error
+// — yields an error carrying the HTTP status and a bounded excerpt instead
+// of a confusing XML parse error.
+func (c *Client) CallContext(ctx context.Context, method string, params []*doc.Node) ([]*doc.Node, error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = DefaultClient
@@ -137,7 +149,12 @@ func (c *Client) Call(method string, params []*doc.Node) ([]*doc.Node, error) {
 	if err := WriteRequest(&buf, method, c.Namespace, params); err != nil {
 		return nil, err
 	}
-	resp, err := httpc.Post(c.Endpoint, "text/xml; charset=utf-8", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("soap: calling %s at %s: %w", method, c.Endpoint, err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("soap: calling %s at %s: %w", method, c.Endpoint, err)
 	}
@@ -228,8 +245,9 @@ type Invoker struct {
 	MaxResponseBytes int64
 }
 
-// Invoke implements core.Invoker.
-func (i *Invoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
+// Invoke implements core.Invoker; the rewriting's context rides the HTTP
+// request, so cancelling the rewrite tears down the connection.
+func (i *Invoker) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
 	endpoint := i.Default
 	ns := i.Namespace
 	if call.Service != nil {
@@ -244,7 +262,7 @@ func (i *Invoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
 		return nil, fmt.Errorf("soap: no endpoint for %q", call.Label)
 	}
 	c := &Client{Endpoint: endpoint, Namespace: ns, HTTP: i.HTTP, MaxResponseBytes: i.MaxResponseBytes}
-	return c.Call(call.Label, call.Children)
+	return c.CallContext(ctx, call.Label, call.Children)
 }
 
 var _ core.Invoker = (*Invoker)(nil)

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -143,11 +144,11 @@ func TestHTTPEndToEnd(t *testing.T) {
 func TestHTTPHooks(t *testing.T) {
 	srv, _ := newTestServer(t)
 	reqHook, respHook := 0, 0
-	srv.OnRequest = func(method string, params []*doc.Node) ([]*doc.Node, error) {
+	srv.OnRequest = func(_ context.Context, method string, params []*doc.Node) ([]*doc.Node, error) {
 		reqHook++
 		return params, nil
 	}
-	srv.OnResponse = func(method string, result []*doc.Node) ([]*doc.Node, error) {
+	srv.OnResponse = func(_ context.Context, method string, result []*doc.Node) ([]*doc.Node, error) {
 		respHook++
 		return result, nil
 	}
@@ -161,7 +162,7 @@ func TestHTTPHooks(t *testing.T) {
 		t.Errorf("hooks = %d %d", reqHook, respHook)
 	}
 	// A rejecting request hook faults the exchange.
-	srv.OnRequest = func(string, []*doc.Node) ([]*doc.Node, error) {
+	srv.OnRequest = func(context.Context, string, []*doc.Node) ([]*doc.Node, error) {
 		return nil, errors.New("schema violation")
 	}
 	_, err := c.Call("Get_Temp", nil)
@@ -191,20 +192,20 @@ func TestInvokerRouting(t *testing.T) {
 	defer ts.Close()
 
 	inv := &Invoker{Default: ts.URL}
-	out, err := inv.Invoke(doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))))
+	out, err := inv.Invoke(context.Background(), doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))))
 	if err != nil || len(out) != 1 {
 		t.Fatalf("default routing failed: %v %v", out, err)
 	}
 	// Explicit ServiceRef endpoint wins.
 	node := doc.CallAt(doc.ServiceRef{Endpoint: ts.URL, Method: "Get_Temp", Namespace: "urn:weather"},
 		doc.Elem("city", doc.TextNode("Paris")))
-	out, err = inv.Invoke(node)
+	out, err = inv.Invoke(context.Background(), node)
 	if err != nil || len(out) != 1 {
 		t.Fatalf("ref routing failed: %v %v", out, err)
 	}
 	// No endpoint anywhere is an error.
 	bare := &Invoker{}
-	if _, err := bare.Invoke(doc.Call("X")); err == nil {
+	if _, err := bare.Invoke(context.Background(), doc.Call("X")); err == nil {
 		t.Error("endpoint-less call should fail")
 	}
 }

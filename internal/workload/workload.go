@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -306,8 +307,12 @@ func NewSimInvoker(s *schema.Schema, rng *rand.Rand) *SimInvoker {
 	return &SimInvoker{Gen: NewGenerator(s, rng)}
 }
 
-// Invoke implements core.Invoker.
-func (si *SimInvoker) Invoke(call *doc.Node) ([]*doc.Node, error) {
+// Invoke implements core.Invoker. The simulation is synchronous and local,
+// so the context is only consulted for cancellation between calls.
+func (si *SimInvoker) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	si.Calls++
 	def := si.Gen.Schema.Funcs[call.Label]
 	if def == nil {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestSimInvokerOutputsConform(t *testing.T) {
 		ctx := schema.NewContext(s, nil)
 		for _, fname := range s.SortedFuncs() {
 			call := doc.Call(fname)
-			out, err := si.Invoke(call)
+			out, err := si.Invoke(context.Background(), call)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, fname, err)
 			}
@@ -88,7 +89,7 @@ func TestSimInvokerOutputsConform(t *testing.T) {
 func TestSimInvokerUnknownFunc(t *testing.T) {
 	s := schema.MustParseText("elem a = data", nil)
 	si := NewSimInvoker(s, rand.New(rand.NewSource(1)))
-	if _, err := si.Invoke(doc.Call("nope")); err == nil {
+	if _, err := si.Invoke(context.Background(), doc.Call("nope")); err == nil {
 		t.Error("unknown function should error")
 	}
 }
@@ -99,7 +100,7 @@ elem temp = data
 func Read = data -> data
 `, nil)
 	si := NewSimInvoker(s, rand.New(rand.NewSource(1)))
-	out, err := si.Invoke(doc.Call("Read"))
+	out, err := si.Invoke(context.Background(), doc.Call("Read"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,7 +90,8 @@ type (
 	// events (attempts, retries, breaker transitions, degradations).
 	Audit = core.Audit
 	// RewriterConfig configures NewRewriterWithConfig: depth bound, invoker,
-	// invocation policies, converters, audit sink and validation switches.
+	// invocation policies, converters, audit sink, validation switches and
+	// the parallel materialization degree (Parallelism; 1 = sequential).
 	RewriterConfig = core.RewriterConfig
 	// InvokePolicy wraps an Invoker with cross-cutting behavior (timeout,
 	// retry, circuit breaking, concurrency limiting, fault injection).
@@ -258,6 +259,9 @@ var (
 	WithBreaker = invoke.WithBreaker
 	// WithConcurrencyLimit bounds in-flight calls through the invoker.
 	WithConcurrencyLimit = invoke.WithConcurrencyLimit
+	// WithLatency delays every call by a fixed duration — a simulated network
+	// round-trip for benchmarks and parallel-speedup experiments.
+	WithLatency = invoke.WithLatency
 	// NewFaultInjector builds a FaultInjector delegating to inner.
 	NewFaultInjector = invoke.NewFaultInjector
 )

@@ -12,12 +12,14 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"axml"
 	"axml/internal/automata"
 	"axml/internal/core"
 	"axml/internal/doc"
 	"axml/internal/experiments"
+	"axml/internal/invoke"
 	"axml/internal/peer"
 	"axml/internal/regex"
 	"axml/internal/schema"
@@ -209,6 +211,26 @@ func BenchmarkMixedRewrite(b *testing.B) {
 			}
 		}
 	})
+}
+
+// E-P1: the parallel materialization engine against simulated round-trip
+// latency — 16 independent calls at 1ms each. Degree 1 is the sequential
+// engine; the wall-clock ratio is the speedup the CI gate checks.
+func BenchmarkParallelMaterialize(b *testing.B) {
+	sender, target := experiments.ParallelPair()
+	inv := invoke.Chain(experiments.ParallelInvoker(0), invoke.WithLatency(time.Millisecond))
+	for _, degree := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("degree=%d", degree), func(b *testing.B) {
+			rw := core.NewRewriterFor(core.Compile(sender, target), 2, inv)
+			rw.Parallelism = degree
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rw.RewriteDocument(experiments.ParallelDoc(16), core.Safe); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // E-C6: materializing a recursive handle at increasing k.

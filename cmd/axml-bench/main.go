@@ -5,6 +5,7 @@
 //	axml-bench -run lazy   # run experiments whose id contains "lazy"
 //	axml-bench -list       # list experiment ids
 //	axml-bench -invoke out.json  # benchmark the invocation policy chain
+//	axml-bench -parallel out.json -min-speedup 2  # parallel-engine smoke gate
 //
 // Output is deterministic except for wall-clock timings.
 package main
@@ -29,10 +30,19 @@ func main() {
 	runFilter := flag.String("run", "", "only run experiments whose id contains this substring")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	invokeOut := flag.String("invoke", "", "benchmark the invocation policy chain and write ns/op JSON to this file")
+	parallelOut := flag.String("parallel", "", "benchmark the parallel materialization engine and write the speedup JSON to this file")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -parallel: fail unless degree 4 beats degree 1 by this factor (0 = no gate)")
 	flag.Parse()
 
 	if *invokeOut != "" {
 		if err := benchInvoke(*invokeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "axml-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parallelOut != "" {
+		if err := benchParallel(*parallelOut, *minSpeedup); err != nil {
 			fmt.Fprintln(os.Stderr, "axml-bench:", err)
 			os.Exit(1)
 		}
@@ -112,5 +122,70 @@ func benchInvoke(path string) error {
 	}
 	fmt.Printf("invoke benchmark: bare %d ns/op, policy chain %d ns/op -> %s\n",
 		bare.NsPerOp(), chain.NsPerOp(), path)
+	return nil
+}
+
+// benchParallel measures the parallel materialization engine on the E-P1
+// fixture — 16 independent calls behind 1ms of injected latency — at degree
+// 1 (the sequential engine) and degree 4, and writes the speedup JSON the
+// CI smoke step archives. With minSpeedup > 0 it fails unless degree 4 is
+// at least that many times faster, guarding against regressions that
+// silently serialize the batch.
+func benchParallel(path string, minSpeedup float64) error {
+	const (
+		funcs   = 16
+		latency = time.Millisecond
+		reps    = 5
+	)
+	sender, target := experiments.ParallelPair()
+	inv := invoke.Chain(experiments.ParallelInvoker(0), invoke.WithLatency(latency))
+	measure := func(degree int) (time.Duration, error) {
+		rw := core.NewRewriterFor(core.Compile(sender, target), 2, inv)
+		rw.Parallelism = degree
+		var total time.Duration
+		for i := 0; i < reps; i++ {
+			root := experiments.ParallelDoc(funcs)
+			start := time.Now()
+			if _, err := rw.RewriteDocument(root, core.Safe); err != nil {
+				return 0, fmt.Errorf("degree %d: %w", degree, err)
+			}
+			total += time.Since(start)
+		}
+		return total / reps, nil
+	}
+	seq, err := measure(1)
+	if err != nil {
+		return err
+	}
+	par, err := measure(4)
+	if err != nil {
+		return err
+	}
+	speedup := float64(seq) / float64(par)
+	report := map[string]any{
+		"benchmark":          "parallel-materialize",
+		"funcs":              funcs,
+		"latency_ms":         latency.Milliseconds(),
+		"reps":               reps,
+		"degree1_ns":         seq.Nanoseconds(),
+		"degree4_ns":         par.Nanoseconds(),
+		"speedup":            speedup,
+		"min_speedup":        minSpeedup,
+		"speedup_unit_note":  "degree-1 wall clock over degree-4 wall clock; higher is better",
+		"generated_by_flag":  "-parallel",
+		"workload_unit_note": "16 independent calls, 1ms injected latency each (E-P1 fixture)",
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("parallel benchmark: degree 1 %v, degree 4 %v -> %.2fx speedup -> %s\n",
+		seq, par, speedup, path)
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("parallel speedup %.2fx below required %.2fx", speedup, minSpeedup)
+	}
 	return nil
 }

@@ -197,8 +197,12 @@ func cmdRewrite(args []string) error {
 	endpoint := fs.String("endpoint", "", "default SOAP endpoint for service calls")
 	lazy := fs.Bool("lazy", false, "use the lazy analysis variant")
 	audit := fs.Bool("audit", false, "print the invocation trail to stderr")
+	parallel := fs.Int("parallel", 1, "parallel materialization degree (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
 	}
 	if *senderPath == "" || *targetPath == "" || fs.NArg() != 1 {
 		return fmt.Errorf("rewrite needs -sender, -target and one document")
@@ -228,6 +232,7 @@ func cmdRewrite(args []string) error {
 	if *lazy {
 		rw.Engine = core.Lazy
 	}
+	rw.Parallelism = *parallel
 	rw.Audit = &core.Audit{}
 	out, err := rw.RewriteDocument(d, mode)
 	if *audit {

@@ -10,7 +10,8 @@
 //
 // Outbound service calls made by enforcement rewritings run through the
 // invocation policy chain configured by -call-timeout, -retries,
-// -retry-backoff, -breaker-failures and -breaker-cooldown.
+// -retry-backoff, -breaker-failures and -breaker-cooldown; -parallel sets
+// the materialization engine's concurrency degree (1 = sequential).
 //
 // Example:
 //
@@ -74,6 +75,7 @@ func configure(args []string) (*peer.Peer, string, error) {
 	retryBackoff := fs.Duration("retry-backoff", invoke.DefaultBaseDelay, "initial backoff between retry attempts")
 	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures opening a per-endpoint circuit breaker (0 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", invoke.DefaultBreakerCooldown, "how long an open breaker rejects calls before probing")
+	parallel := fs.Int("parallel", 1, "parallel materialization degree for enforcement rewritings (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
@@ -100,6 +102,9 @@ func configure(args []string) (*peer.Peer, string, error) {
 	}
 	if *breakerFailures < 0 {
 		return nil, "", fmt.Errorf("-breaker-failures must not be negative, got %d", *breakerFailures)
+	}
+	if *parallel < 1 {
+		return nil, "", fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
 	}
 	s, err := loadSchema(*schemaPath)
 	if err != nil {
@@ -130,6 +135,7 @@ func configure(args []string) (*peer.Peer, string, error) {
 	p.Enforcement.WordCacheCapacity = *wordCacheSize
 	p.MaxRequestBytes = *maxRequest
 	p.Policies = policies(*breakerFailures, *breakerCooldown, *retries, *retryBackoff, *callTimeout)
+	p.Parallelism = *parallel
 
 	if *docsDir != "" {
 		if err := p.Repo.LoadDir(*docsDir); err != nil {

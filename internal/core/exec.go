@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"axml/internal/doc"
 	"axml/internal/regex"
@@ -50,15 +51,28 @@ func (rw *Rewriter) RewriteForest(forest []*doc.Node, typ *regex.Regex, mode Mod
 }
 
 // RewriteForestContext is RewriteForest under a context (see
-// RewriteDocumentContext for the cancellation contract).
+// RewriteDocumentContext for the cancellation contract). With
+// Rewriter.Parallelism above 1 the rewriting runs on the parallel
+// materialization engine (see parallel.go); at 1 it takes the sequential
+// code paths unchanged.
 func (rw *Rewriter) RewriteForestContext(ctx context.Context, forest []*doc.Node, typ *regex.Regex, mode Mode) ([]*doc.Node, error) {
 	if rw.Invoker == nil {
 		return nil, fmt.Errorf("core: Rewriter has no Invoker; use CheckForest for static analysis")
 	}
-	ex := &executor{rw: rw, ctx: WithEventSink(ctx, rw.Audit), mode: mode,
-		paramsDone: map[*doc.Node]bool{}, permafrost: map[*doc.Node]bool{}}
+	ex := &executor{rw: rw, ctx: WithEventSink(ctx, rw.Audit), mode: mode, audit: rw.Audit,
+		st: &execState{
+			paramsDone: map[*doc.Node]bool{},
+			permafrost: map[*doc.Node]bool{},
+			sched:      newParScheduler(rw.Parallelism),
+		}}
 	if mode == Mixed {
-		pre, err := ex.preInvoke(forest, 0, nil)
+		var pre []*doc.Node
+		var err error
+		if ex.st.sched != nil {
+			pre, err = ex.preInvokeBatch(forest, 0, nil)
+		} else {
+			pre, err = ex.preInvoke(forest, 0, nil)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -81,12 +95,12 @@ func (rw *Rewriter) RewriteForestContext(ctx context.Context, forest []*doc.Node
 	return ex.forest(forest, typ, nil)
 }
 
-type executor struct {
-	rw *Rewriter
-	// ctx governs the whole rewriting and carries the Audit as event sink;
-	// it is passed to every Invoker.Invoke.
-	ctx  context.Context
-	mode Mode
+// execState is the rewriting state shared by every branch of one execution,
+// including all parallel branches: the parameter/permafrost memos, the call
+// budget and the worker scheduler. A nil sched selects the sequential code
+// paths throughout.
+type execState struct {
+	mu sync.Mutex
 	// paramsDone marks function nodes whose parameters have been
 	// materialized into input instances (or arrived conformant from an
 	// invocation result).
@@ -95,6 +109,62 @@ type executor struct {
 	// non-invocable, or parameters beyond repair in lenient mode.
 	permafrost map[*doc.Node]bool
 	calls      int
+	sched      *parScheduler
+}
+
+// executor is one branch's view of a rewriting: the shared state plus the
+// branch's context (carrying its event sink) and call-record sink. The
+// top-level executor records into the Rewriter's audit; parallel branches
+// record into per-slot buffers that runSlots flushes in document order.
+type executor struct {
+	rw *Rewriter
+	// ctx governs the whole rewriting and carries the branch's event sink;
+	// it is passed to every Invoker.Invoke.
+	ctx   context.Context
+	mode  Mode
+	audit *Audit
+	st    *execState
+}
+
+func (ex *executor) paramsReady(n *doc.Node) bool {
+	ex.st.mu.Lock()
+	defer ex.st.mu.Unlock()
+	return ex.st.paramsDone[n]
+}
+
+func (ex *executor) markParamsDone(n *doc.Node) {
+	ex.st.mu.Lock()
+	defer ex.st.mu.Unlock()
+	ex.st.paramsDone[n] = true
+}
+
+func (ex *executor) isFrozen(n *doc.Node) bool {
+	ex.st.mu.Lock()
+	defer ex.st.mu.Unlock()
+	return ex.st.permafrost[n]
+}
+
+func (ex *executor) freeze(n *doc.Node) {
+	ex.st.mu.Lock()
+	defer ex.st.mu.Unlock()
+	ex.st.permafrost[n] = true
+}
+
+// reserveCall claims one unit of the invocation budget.
+func (ex *executor) reserveCall() error {
+	ex.st.mu.Lock()
+	defer ex.st.mu.Unlock()
+	if ex.st.calls >= ex.rw.MaxCalls {
+		return fmt.Errorf("core: invocation budget of %d calls exhausted (recursive service?)", ex.rw.MaxCalls)
+	}
+	ex.st.calls++
+	return nil
+}
+
+func (ex *executor) callCount() int {
+	ex.st.mu.Lock()
+	defer ex.st.mu.Unlock()
+	return ex.st.calls
 }
 
 // forest runs the three phases on one forest against a word type and
@@ -113,22 +183,46 @@ func (ex *executor) forest(forest []*doc.Node, typ *regex.Regex, path []string) 
 	if err != nil {
 		return nil, err
 	}
-	// Phase 2: recurse into element subtrees.
-	for i, tree := range out {
-		if tree.Kind != doc.Element {
-			continue
-		}
-		if err := ex.element(tree, append(path, fmt.Sprintf("%s[%d]", tree.Label, i))); err != nil {
-			return nil, err
-		}
+	// Phase 2: recurse into element subtrees — independent of one another,
+	// so they fan out onto the scheduler when one is configured.
+	elems := elementSlots(out)
+	if err := ex.runSlots(len(elems), func(child *executor, k int) error {
+		i := elems[k]
+		tree := out[i]
+		return child.element(tree, childPath(path, fmt.Sprintf("%s[%d]", tree.Label, i)))
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// elementSlots returns the indices of the element nodes of a forest — the
+// slots the subtree-recursion phase fans out over.
+func elementSlots(forest []*doc.Node) []int {
+	out := make([]int, 0, len(forest))
+	for i, n := range forest {
+		if n.Kind == doc.Element {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// childPath returns path extended by one segment, in a freshly allocated
+// slice. The naive append(path, seg) shares the parent's backing array:
+// sibling recursions — concurrent ones especially — would overwrite each
+// other's segment, corrupting the paths reported in errors and events.
+func childPath(path []string, seg string) []string {
+	out := make([]string, len(path)+1)
+	copy(out, path)
+	out[len(path)] = seg
+	return out
 }
 
 // materializeParams rewrites f's parameters into its input type, memoized.
 // Failures freeze f in lenient mode and abort in strict mode.
 func (ex *executor) materializeParams(f *doc.Node, path []string) error {
-	if ex.paramsDone[f] || ex.permafrost[f] {
+	if ex.paramsReady(f) || ex.isFrozen(f) {
 		return nil
 	}
 	c := ex.rw.Compiled
@@ -136,7 +230,7 @@ func (ex *executor) materializeParams(f *doc.Node, path []string) error {
 		if ex.rw.StrictParams {
 			return err
 		}
-		ex.permafrost[f] = true
+		ex.freeze(f)
 		return nil
 	}
 	in, isData, exists := c.InputType(c.Table.Intern(f.Label))
@@ -144,20 +238,20 @@ func (ex *executor) materializeParams(f *doc.Node, path []string) error {
 		return fail(&NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("function %q is not declared by either schema", f.Label)})
 	}
 	if isData {
-		kids, err := ex.collapseToData(f.Children, append(path, "@"+f.Label))
+		kids, err := ex.collapseToData(f.Children, childPath(path, "@"+f.Label))
 		if err != nil {
 			return fail(err)
 		}
 		f.Children = kids
-		ex.paramsDone[f] = true
+		ex.markParamsDone(f)
 		return nil
 	}
-	kids, err := ex.forest(f.Children, in, append(path, "@"+f.Label))
+	kids, err := ex.forest(f.Children, in, childPath(path, "@"+f.Label))
 	if err != nil {
 		return fail(err)
 	}
 	f.Children = kids
-	ex.paramsDone[f] = true
+	ex.markParamsDone(f)
 	return nil
 }
 
@@ -178,7 +272,7 @@ func (ex *executor) collapseToData(children []*doc.Node, path []string) ([]*doc.
 			if err := ex.materializeParams(ch, path); err != nil {
 				return nil, err
 			}
-			if ex.permafrost[ch] {
+			if ex.isFrozen(ch) {
 				return nil, &NotSafeError{Path: pathString(path), Msg: fmt.Sprintf("parameters of %q cannot be fixed", ch.Label)}
 			}
 			res, err := ex.invoke(ch, 1)
@@ -221,22 +315,21 @@ func (ex *executor) element(e *doc.Node, path []string) error {
 		return err
 	}
 	e.Children = kids
-	for i, ch := range kids {
-		if ch.Kind == doc.Element {
-			if err := ex.element(ch, append(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	elems := elementSlots(kids)
+	return ex.runSlots(len(elems), func(child *executor, k int) error {
+		i := elems[k]
+		ch := kids[i]
+		return child.element(ch, childPath(path, fmt.Sprintf("%s[%d]", ch.Label, i)))
+	})
 }
 
 // item is one child slot during word rewriting.
 type item struct {
-	node   *doc.Node
-	depth  int
-	kept   bool // decided keep (tentative in possible mode)
-	forced bool // backtracking flipped this occurrence to "must call"
+	node    *doc.Node
+	depth   int
+	kept    bool // decided keep (tentative in possible mode)
+	forced  bool // backtracking flipped this occurrence to "must call"
+	pending bool // decided invoke, dispatch deferred to the round's batch
 }
 
 // rewriteWord performs the per-node decision loop: scan left to right, for
@@ -244,13 +337,23 @@ type item struct {
 // verdict; keep if so, invoke otherwise. In possible mode a final mismatch
 // backtracks over keeps made after the last call (left-to-right rewritings
 // never revisit positions left of an invocation).
+//
+// Safe mode on the parallel engine pipelines within the word: verdicts are
+// fixed by the same left-to-right scan, but the decided invocations dispatch
+// as one concurrent batch per round (decideParallel). Possible mode always
+// runs the sequential loop — backtracking revisits earlier decisions, which
+// a concurrent batch could not honor.
 func (ex *executor) rewriteWord(children []*doc.Node, typ *regex.Regex, path []string) ([]*doc.Node, error) {
 	w := &wordRun{ex: ex, typ: typ}
 	w.items = make([]*item, len(children))
 	for i, ch := range children {
 		w.items[i] = &item{node: ch}
 	}
-	if err := w.decideFrom(0); err != nil {
+	if ex.st.sched != nil && ex.mode == Safe {
+		if err := w.decideParallel(); err != nil {
+			return nil, err
+		}
+	} else if err := w.decideFrom(0); err != nil {
 		return nil, err
 	}
 	// Final verification, with possible-mode backtracking over keeps made
@@ -268,7 +371,7 @@ func (ex *executor) rewriteWord(children []*doc.Node, typ *regex.Regex, path []s
 			return nil, &NotSafeError{
 				Path: pathString(path),
 				Msg: fmt.Sprintf("rewriting finished on %v which does not match %s (mode %s, %d calls made)",
-					forestLabels(nodes), typ.String(ex.rw.Compiled.Table), ex.mode, ex.calls),
+					forestLabels(nodes), typ.String(ex.rw.Compiled.Table), ex.mode, ex.callCount()),
 			}
 		}
 		// Flip the most recent keep to a forced call and resume there.
@@ -328,7 +431,7 @@ func (w *wordRun) decideFrom(j int) error {
 				// answer: freeze the occurrence and let the final
 				// verification backtrack over the remaining keeps instead of
 				// aborting the whole rewrite.
-				ex.permafrost[it.node] = true
+				ex.freeze(it.node)
 				it.forced = false
 				Emit(ex.ctx, InvokeEvent{Func: it.node.Label, Endpoint: EndpointOf(it.node),
 					Kind: EventDegraded, Err: err.Error()})
@@ -343,7 +446,7 @@ func (w *wordRun) decideFrom(j int) error {
 			spliced = append(spliced, &item{node: n, depth: it.depth + 1})
 			if n.Kind == doc.Func {
 				// Output instances conform: parameters arrive materialized.
-				ex.paramsDone[n] = true
+				ex.markParamsDone(n)
 			}
 		}
 		spliced = append(spliced, w.items[j+1:]...)
@@ -360,7 +463,7 @@ func (ex *executor) callable(it *item) bool {
 	if it.node.Kind != doc.Func || it.kept || it.depth >= ex.rw.K {
 		return false
 	}
-	if ex.permafrost[it.node] {
+	if ex.isFrozen(it.node) {
 		return false
 	}
 	c := ex.rw.Compiled
@@ -368,7 +471,7 @@ func (ex *executor) callable(it *item) bool {
 	if fi == nil || !fi.Invocable {
 		return false
 	}
-	return ex.paramsDone[it.node]
+	return ex.paramsReady(it.node)
 }
 
 // tokens projects items to analysis tokens; kept and uncallable functions
@@ -401,10 +504,9 @@ func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
 	if err := ex.ctx.Err(); err != nil {
 		return nil, err
 	}
-	if ex.calls >= ex.rw.MaxCalls {
-		return nil, fmt.Errorf("core: invocation budget of %d calls exhausted (recursive service?)", ex.rw.MaxCalls)
+	if err := ex.reserveCall(); err != nil {
+		return nil, err
 	}
-	ex.calls++
 	res, err := ex.rw.Invoker.Invoke(ex.ctx, call)
 	if err != nil {
 		return nil, fmt.Errorf("core: invoking %q: %w", call.Label, err)
@@ -423,7 +525,7 @@ func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
 	if fi := c.Func(c.Table.Intern(call.Label)); fi != nil {
 		cost = fi.Cost
 	}
-	ex.rw.Audit.Record(CallRecord{Func: call.Label, Depth: depth, Cost: cost, ResultNodes: len(res)})
+	ex.audit.Record(CallRecord{Func: call.Label, Depth: depth, Cost: cost, ResultNodes: len(res)})
 	return res, nil
 }
 
@@ -431,6 +533,8 @@ func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
 // function the PreInvoke predicate admits (default: side-effect-free and
 // zero cost), splice the actual results, and recurse into them while depth
 // allows. The subsequent safe analysis then works on the concrete data.
+// This is the sequential pass; the parallel engine batches the same
+// admissible calls per round instead (preInvokeBatch in parallel.go).
 func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*doc.Node, error) {
 	pred := ex.rw.PreInvoke
 	if pred == nil {
@@ -440,7 +544,7 @@ func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*
 	out := make([]*doc.Node, 0, len(forest))
 	for _, n := range forest {
 		if n.Kind == doc.Element {
-			kids, err := ex.preInvoke(n.Children, depth, append(path, n.Label))
+			kids, err := ex.preInvoke(n.Children, depth, childPath(path, n.Label))
 			if err != nil {
 				return nil, err
 			}
@@ -462,7 +566,7 @@ func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*
 				return nil, err
 			}
 		}
-		if ex.permafrost[n] {
+		if ex.isFrozen(n) {
 			out = append(out, n)
 			continue
 		}
@@ -472,7 +576,7 @@ func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*
 				// The speculative pass is best-effort: a flaky endpoint
 				// leaves the call intensional and the safe analysis decides
 				// whether the document still rewrites without it.
-				ex.permafrost[n] = true
+				ex.freeze(n)
 				Emit(ex.ctx, InvokeEvent{Func: n.Label, Endpoint: EndpointOf(n),
 					Kind: EventDegraded, Err: err.Error()})
 				out = append(out, n)
@@ -482,7 +586,7 @@ func (ex *executor) preInvoke(forest []*doc.Node, depth int, path []string) ([]*
 		}
 		for _, r := range res {
 			if r.Kind == doc.Func {
-				ex.paramsDone[r] = true
+				ex.markParamsDone(r)
 			}
 		}
 		deeper, err := ex.preInvoke(res, depth+1, path)

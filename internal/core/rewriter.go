@@ -78,6 +78,12 @@ type Rewriter struct {
 	Converters Converters
 	// Audit, if set, records every invocation.
 	Audit *Audit
+	// Parallelism is the degree of the parallel materialization engine:
+	// the maximum number of concurrently executing rewriting branches
+	// (sibling subtrees, batched pre-invocations, pipelined safe-mode
+	// calls). Values <= 1 select the sequential engine, byte-for-byte
+	// identical to the original behavior including audit order.
+	Parallelism int
 
 	ctx *schema.Context
 }
@@ -119,6 +125,9 @@ type RewriterConfig struct {
 	// Audit receives the invocation trail; nil allocates a fresh one, so a
 	// configured rewriter always audits.
 	Audit *Audit
+	// Parallelism is the degree of the parallel materialization engine;
+	// 0 selects DefaultParallelism (sequential execution).
+	Parallelism int
 }
 
 // NewRewriter builds a rewriter for the (sender, target) schema pair,
@@ -171,6 +180,10 @@ func NewRewriterForConfig(c *Compiled, cfg RewriterConfig) *Rewriter {
 	if audit == nil {
 		audit = &Audit{}
 	}
+	parallelism := cfg.Parallelism
+	if parallelism == 0 {
+		parallelism = DefaultParallelism
+	}
 	inv := cfg.Invoker
 	if inv != nil {
 		inv = ApplyPolicies(inv, cfg.Policies)
@@ -186,6 +199,7 @@ func NewRewriterForConfig(c *Compiled, cfg RewriterConfig) *Rewriter {
 		PreInvoke:       cfg.PreInvoke,
 		Converters:      cfg.Converters,
 		Audit:           audit,
+		Parallelism:     parallelism,
 		ctx:             schema.NewContext(c.Target, c.Sender),
 	}
 }
@@ -270,7 +284,7 @@ func (sc *staticCheck) forest(forest []*doc.Node, typ *regex.Regex, path []strin
 	}
 	for i, tree := range forest {
 		if tree.Kind == doc.Element {
-			if err := sc.element(tree, append(path, fmt.Sprintf("%s[%d]", tree.Label, i))); err != nil {
+			if err := sc.element(tree, childPath(path, fmt.Sprintf("%s[%d]", tree.Label, i))); err != nil {
 				return err
 			}
 		}
@@ -304,7 +318,7 @@ func (sc *staticCheck) funcParams(f *doc.Node, path []string) (bool, error) {
 	// Rewriting the params must not consult the global failure path: use a
 	// sub-check whose verdict freezes f instead of failing, unless strict.
 	sub := &staticCheck{rw: sc.rw, mode: sc.mode, paramsOK: sc.paramsOK}
-	if err := sub.forest(f.Children, in, append(path, "@"+f.Label)); err != nil {
+	if err := sub.forest(f.Children, in, childPath(path, "@"+f.Label)); err != nil {
 		if sc.rw.StrictParams {
 			return false, err
 		}
@@ -379,7 +393,7 @@ func (sc *staticCheck) element(e *doc.Node, path []string) error {
 	}
 	for i, ch := range e.Children {
 		if ch.Kind == doc.Element {
-			if err := sc.element(ch, append(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
+			if err := sc.element(ch, childPath(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
 				return err
 			}
 		}
@@ -408,19 +422,50 @@ func (sc *staticCheck) tokens(forest []*doc.Node) []Token {
 	return out
 }
 
+// pathString renders a node path as /seg/seg/... — it sits on every error
+// and event path, so it builds the result in one exactly-sized allocation
+// instead of the Join-plus-concatenation it replaced.
 func pathString(path []string) string {
 	if len(path) == 0 {
 		return ""
 	}
-	return "/" + strings.Join(path, "/")
+	n := len(path) // one '/' before each segment
+	for _, seg := range path {
+		n += len(seg)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, seg := range path {
+		b.WriteByte('/')
+		b.WriteString(seg)
+	}
+	return b.String()
 }
 
-func forestLabels(forest []*doc.Node) []string {
-	out := make([]string, 0, len(forest))
-	for _, n := range forest {
-		if n.Kind != doc.Text {
-			out = append(out, n.Label)
+// forestLabels renders the non-text labels of a forest as "[a b c]" — the
+// same shape fmt's %v gave the label slice it replaced, without building the
+// intermediate slice.
+func forestLabels(forest []*doc.Node) string {
+	n := 2
+	for _, node := range forest {
+		if node.Kind != doc.Text {
+			n += len(node.Label) + 1
 		}
 	}
-	return out
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteByte('[')
+	first := true
+	for _, node := range forest {
+		if node.Kind == doc.Text {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteString(node.Label)
+	}
+	b.WriteByte(']')
+	return b.String()
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -155,6 +156,54 @@ func Get_More = data -> url*.Get_More?
 	w := core.WordTokens([]regex.Symbol{c.Table.Intern("url"), c.Table.Intern("Get_More")})
 	flatOrHandle := regex.MustParse(c.Table, "url*.Get_More?")
 	return c, w, flatOrHandle
+}
+
+// ParallelPair builds the E-P1 fixture: a page of independent sec subtrees,
+// each holding one Get call the target forces to materialize. Every call is
+// independent of every other, so the parallel engine's speedup ceiling is
+// the degree (until per-call latency stops dominating).
+func ParallelPair() (*schema.Schema, *schema.Schema) {
+	const text = `
+root page
+elem page = sec*
+elem sec = (Get|val)
+elem val = data
+func Get = data -> val
+`
+	sender := schema.MustParseText(text, nil)
+	target, err := schema.ParseTextShared(schema.NewShared(sender.Table),
+		strings.Replace(text, "elem sec = (Get|val)", "elem sec = val", 1), nil)
+	if err != nil {
+		panic(err)
+	}
+	return sender, target
+}
+
+// ParallelDoc builds a page of n sec elements, each with one Get call.
+func ParallelDoc(n int) *doc.Node {
+	kids := make([]*doc.Node, n)
+	for i := range kids {
+		kids[i] = doc.Elem("sec", doc.Call("Get", doc.TextNode(fmt.Sprintf("p%d", i))))
+	}
+	return doc.Elem("page", kids...)
+}
+
+// ParallelInvoker returns a deterministic stub service answering every Get
+// with one val, after sleeping latency per call (0 = no sleep). The sleep
+// stands in for the network round-trip the parallel engine overlaps.
+func ParallelInvoker(latency time.Duration) core.Invoker {
+	return core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+		if latency > 0 {
+			t := time.NewTimer(latency)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return []*doc.Node{doc.Elem("val", doc.TextNode(call.Label))}, nil
+	})
 }
 
 // NondetTarget builds the classic (a|b)*.a.(a|b)^n language whose minimal
@@ -605,6 +654,51 @@ func CopySharing(ks []int, reps int) *Table {
 	return t
 }
 
+// ParallelSpeedup (E-P1): wall-clock materialization time against the
+// parallelism degree, per-call latency, and function density. With zero
+// latency the engine's overhead dominates and the degrees tie; with real
+// round-trips the speedup approaches min(degree, independent calls).
+func ParallelSpeedup(degrees []int, latencies []time.Duration, densities []int, reps int) *Table {
+	t := &Table{
+		ID:     "parallel-speedup",
+		Title:  "Parallel materialization: wall clock vs degree, latency, density (§7 of DESIGN.md)",
+		Note:   "independent sec subtrees; degree 1 is the sequential engine, byte-identical output",
+		Header: []string{"latency", "funcs", "degree", "wall", "speedup"},
+	}
+	for _, lat := range latencies {
+		for _, n := range densities {
+			var base time.Duration
+			for _, degree := range degrees {
+				sender, target := ParallelPair()
+				rw := core.NewRewriterFor(core.Compile(sender, target), 2, ParallelInvoker(lat))
+				rw.Parallelism = degree
+				var total time.Duration
+				for i := 0; i < reps; i++ {
+					root := ParallelDoc(n)
+					start := time.Now()
+					if _, err := rw.RewriteDocument(root, core.Safe); err != nil {
+						panic(err)
+					}
+					total += time.Since(start)
+				}
+				wall := total / time.Duration(reps)
+				if degree == degrees[0] {
+					base = wall
+				}
+				speedup := "1.00x"
+				if wall > 0 {
+					speedup = fmt.Sprintf("%.2fx", float64(base)/float64(wall))
+				}
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprint(lat), fmt.Sprint(n), fmt.Sprint(degree),
+					fmt.Sprintf("%.2fms", float64(wall.Microseconds())/1000), speedup,
+				})
+			}
+		}
+	}
+	return t
+}
+
 // All runs every experiment with default parameters.
 func All() []*Table {
 	return []*Table{
@@ -617,5 +711,8 @@ func All() []*Table {
 		KDepthGrowth([]int{1, 2, 3, 4, 6}),
 		SchemaRewrite([]int{8, 16}, 3),
 		CopySharing([]int{2, 4, 6, 8, 10}, 3),
+		ParallelSpeedup([]int{1, 2, 4, 8},
+			[]time.Duration{0, time.Millisecond, 5 * time.Millisecond},
+			[]int{8, 32}, 3),
 	}
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 // The experiment tables must reproduce the paper's qualitative shape: the
@@ -103,6 +105,27 @@ func TestKDepthGrowthShape(t *testing.T) {
 	}
 }
 
+func TestParallelSpeedupShape(t *testing.T) {
+	// With 5ms of latency on 8 independent calls, degree 4 must overlap
+	// enough round-trips to beat degree 1 outright; the precise factor is
+	// machine-dependent and gated in CI by axml-bench -min-speedup.
+	tbl := ParallelSpeedup([]int{1, 4}, []time.Duration{5 * time.Millisecond}, []int{8}, 1)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	parseWall := func(s string) float64 {
+		var ms float64
+		if _, err := fmt.Sscanf(s, "%fms", &ms); err != nil {
+			t.Fatalf("wall %q: %v", s, err)
+		}
+		return ms
+	}
+	seq, par := parseWall(tbl.Rows[0][3]), parseWall(tbl.Rows[1][3])
+	if par >= seq {
+		t.Errorf("degree 4 (%vms) not faster than degree 1 (%vms)", par, seq)
+	}
+}
+
 func TestTableFprint(t *testing.T) {
 	var b strings.Builder
 	Figures().Fprint(&b)
@@ -119,7 +142,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full experiment sweep")
 	}
 	tables := All()
-	if len(tables) != 9 {
+	if len(tables) != 10 {
 		t.Fatalf("experiments = %d", len(tables))
 	}
 	for _, tbl := range tables {

@@ -225,6 +225,24 @@ func WithConcurrencyLimit(n int) Policy {
 	}
 }
 
+// WithLatency delays every call by d before forwarding it — a simulated
+// network round-trip for benchmarks and parallel-speedup experiments, where
+// the interesting quantity is how much of the per-call latency the engine
+// overlaps. The wait respects the context; zero or negative d is a no-op.
+func WithLatency(d time.Duration) Policy {
+	return func(next core.Invoker) core.Invoker {
+		if d <= 0 {
+			return next
+		}
+		return core.ContextInvokerFunc(func(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+			return next.Invoke(ctx, call)
+		})
+	}
+}
+
 // sleepCtx waits d or until the context is done.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {

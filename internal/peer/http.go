@@ -122,5 +122,6 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"compile_cache": compiled,
 		"word_cache":    words,
 		"invocations":   p.Audit.Len(),
+		"parallelism":   max(p.Parallelism, 1),
 	})
 }

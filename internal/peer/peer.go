@@ -51,6 +51,11 @@ type Peer struct {
 	// wrapped invoker is built once on first use so stateful policies
 	// (breakers, concurrency limits) persist across messages.
 	Policies []core.InvokePolicy
+	// Parallelism is the degree of the parallel materialization engine used
+	// by enforcement rewritings (concurrent sibling subtrees, batched
+	// pre-invocation, pipelined safe-mode calls). Values <= 1 keep the
+	// sequential engine.
+	Parallelism int
 
 	invOnce sync.Once
 	inv     core.Invoker
@@ -96,6 +101,7 @@ func (p *Peer) policyInvoker() core.Invoker {
 func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
 	rw := core.NewRewriterFor(p.Enforcement.Get(p.Schema, target), p.K, p.policyInvoker())
 	rw.Audit = p.Audit
+	rw.Parallelism = p.Parallelism
 	return rw
 }
 

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"axml/internal/doc"
 	"axml/internal/regex"
@@ -296,9 +297,16 @@ func (g *Generator) text() string {
 // the simulation is reproducible; because output words are sampled from the
 // full signature language, repeated runs exercise the adversarial spread the
 // safe-rewriting analysis quantifies over.
+//
+// Invoke is safe for concurrent use (peers serve SOAP requests — and the
+// parallel materialization engine issues batches — concurrently); the shared
+// generator is held under a mutex, so results are deterministic for a fixed
+// seed only when invocation order is.
 type SimInvoker struct {
+	mu  sync.Mutex
 	Gen *Generator
-	// Calls counts invocations (also visible through core.Audit).
+	// Calls counts invocations (also visible through core.Audit); read it
+	// via CallCount when the invoker may still be serving calls.
 	Calls int
 }
 
@@ -307,12 +315,21 @@ func NewSimInvoker(s *schema.Schema, rng *rand.Rand) *SimInvoker {
 	return &SimInvoker{Gen: NewGenerator(s, rng)}
 }
 
+// CallCount returns the number of invocations served so far.
+func (si *SimInvoker) CallCount() int {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return si.Calls
+}
+
 // Invoke implements core.Invoker. The simulation is synchronous and local,
 // so the context is only consulted for cancellation between calls.
 func (si *SimInvoker) Invoke(ctx context.Context, call *doc.Node) ([]*doc.Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
 	si.Calls++
 	def := si.Gen.Schema.Funcs[call.Label]
 	if def == nil {

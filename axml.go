@@ -56,6 +56,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/telemetry"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
 	"axml/internal/xsdint"
@@ -356,4 +357,39 @@ var (
 	ACL = service.ACL
 	// AndPredicates conjoins predicates.
 	AndPredicates = service.And
+)
+
+// Telemetry surface: embedders plug a registry into RewriterConfig.Telemetry
+// or Peer.Telemetry, scrape it via Registry.MetricsHandler (Prometheus text)
+// and Tracer.TracesHandler (recent spans as JSON), and correlate spans with
+// audit records through the rewrite ID. See DESIGN.md §8 for the metric
+// catalogue and span naming scheme.
+type (
+	// TelemetryRegistry holds named metrics and the span ring.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySpan is one in-flight traced operation (nil-safe no-op).
+	TelemetrySpan = telemetry.Span
+	// TelemetrySpanRecord is a finished span as served by /debug/traces.
+	TelemetrySpanRecord = telemetry.SpanRecord
+	// TelemetryTracer is the bounded ring of finished spans.
+	TelemetryTracer = telemetry.Tracer
+)
+
+var (
+	// NewTelemetry creates a registry with the default span-ring capacity.
+	NewTelemetry = telemetry.NewRegistry
+	// StartSpan opens a span under the registry carried by ctx (no-op
+	// otherwise) and returns the derived context for parent linkage.
+	StartSpan = telemetry.StartSpan
+	// WithTelemetry plants a registry in a context, so StartSpan and the
+	// instrumented pipeline below it report there.
+	WithTelemetry = telemetry.WithRegistry
+	// NewRewriteID mints the process-unique ID format used to correlate
+	// one top-level rewriting across spans and audit records.
+	NewRewriteID = telemetry.NewID
+	// WithRewriteID pins the rewrite/trace ID for the next top-level
+	// rewriting started under the context.
+	WithRewriteID = telemetry.WithTraceID
+	// RewriteIDFrom reads the rewrite/trace ID in effect, or "".
+	RewriteIDFrom = telemetry.TraceIDFrom
 )

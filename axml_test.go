@@ -173,3 +173,48 @@ func TestPublicAPIPolicies(t *testing.T) {
 		t.Errorf("config path should audit attempts, got %v", rw.Audit.Events())
 	}
 }
+
+// TestPublicAPITelemetry drives the telemetry surface purely through the
+// facade: a registry threaded via RewriterConfig, a pinned rewrite ID, the
+// Prometheus exposition and the span ring.
+func TestPublicAPITelemetry(t *testing.T) {
+	sender := axml.MustParseSchemaText(senderSrc)
+	target := axml.MustParseSchemaTextShared(sender, targetSrc)
+	reg := axml.NewTelemetry()
+	rw := axml.NewRewriterWithConfig(sender, target, axml.RewriterConfig{
+		Depth:     1,
+		Invoker:   weatherInvoker(t),
+		Telemetry: reg,
+	})
+	id := axml.NewRewriteID()
+	ctx := axml.WithRewriteID(context.Background(), id)
+	if _, err := rw.RewriteDocumentContext(ctx, newspaper(), axml.Safe); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reg.Value("axml_rewrites_total", "mode", "safe"); !ok || v != 1 {
+		t.Errorf("axml_rewrites_total{mode=safe} = %v, %v", v, ok)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `axml_invoke_seconds_count{endpoint="Get_Temp"} 1`) {
+		t.Errorf("exposition missing invoke series:\n%s", sb.String())
+	}
+	var rewriteSpan *axml.TelemetrySpanRecord
+	for _, s := range reg.Tracer().Spans() {
+		if s.Name == "rewrite.safe" {
+			s := s
+			rewriteSpan = &s
+		}
+	}
+	if rewriteSpan == nil {
+		t.Fatal("no rewrite.safe span recorded")
+	}
+	if rewriteSpan.TraceID != id {
+		t.Errorf("span trace %q not pinned to rewrite id %q", rewriteSpan.TraceID, id)
+	}
+	if got := rw.Audit.Calls()[0].Rewrite; got != id {
+		t.Errorf("audit record stamped %q want %q", got, id)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/telemetry"
 	"axml/internal/workload"
 )
 
@@ -272,8 +273,10 @@ func BenchmarkSchemaRewrite(b *testing.B) {
 	}
 }
 
-// E-C8: end-to-end peer exchange over HTTP with schema enforcement.
-func BenchmarkPeerEnforcement(b *testing.B) {
+// enforcementBench runs the E-C8 workload — one SOAP call whose response
+// enforcement materializes a nested service call, over HTTP — against a
+// peer carrying the given telemetry registry (nil for the no-op paths).
+func enforcementBench(b *testing.B, reg *telemetry.Registry) {
 	s := schema.MustParseText(`
 root page
 elem page = title.temp
@@ -304,6 +307,7 @@ func Front = data -> page
 	if err != nil {
 		b.Fatal(err)
 	}
+	p.Telemetry = reg
 	ts := httptest.NewServer(p.Handler())
 	defer ts.Close()
 	client := &soap.Client{Endpoint: ts.URL + "/soap", Namespace: "urn:axml:bench"}
@@ -318,6 +322,22 @@ func Front = data -> page
 			b.Fatal("enforcement did not materialize")
 		}
 	}
+}
+
+// E-C8: end-to-end peer exchange over HTTP with schema enforcement. With no
+// registry configured every instrumentation hook takes its nil no-op path,
+// so this benchmark also guards the telemetry layer's zero-overhead claim:
+// its ns/op and allocs/op must not move against the pre-telemetry baseline.
+func BenchmarkPeerEnforcement(b *testing.B) {
+	enforcementBench(b, nil)
+}
+
+// E-T1: the same workload fully instrumented (pipeline metrics, spans,
+// per-handler HTTP series). Compare against BenchmarkPeerEnforcement — or
+// run `axml-bench -telemetry`, which interleaves paired rounds of both and
+// gates the median overhead.
+func BenchmarkPeerEnforcementTelemetry(b *testing.B) {
+	enforcementBench(b, telemetry.NewRegistry())
 }
 
 // E-C9: the enforcement cache under parallel load. Every iteration is one

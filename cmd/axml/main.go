@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,6 +27,7 @@ import (
 	"axml/internal/regex"
 	"axml/internal/schema"
 	"axml/internal/soap"
+	"axml/internal/telemetry"
 	"axml/internal/workload"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
@@ -197,6 +199,7 @@ func cmdRewrite(args []string) error {
 	endpoint := fs.String("endpoint", "", "default SOAP endpoint for service calls")
 	lazy := fs.Bool("lazy", false, "use the lazy analysis variant")
 	audit := fs.Bool("audit", false, "print the invocation trail to stderr")
+	verbose := fs.Bool("v", false, "tag the run with a rewrite id and print it with the invocation trail to stderr")
 	parallel := fs.Int("parallel", 1, "parallel materialization degree (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -234,11 +237,19 @@ func cmdRewrite(args []string) error {
 	}
 	rw.Parallelism = *parallel
 	rw.Audit = &core.Audit{}
-	out, err := rw.RewriteDocument(d, mode)
-	if *audit {
+	ctx := context.Background()
+	if *verbose {
+		// One generated id per top-level rewrite; every audit record carries
+		// it, so runs can be correlated with peer-side telemetry.
+		id := telemetry.NewID()
+		ctx = telemetry.WithTraceID(ctx, id)
+		fmt.Fprintf(os.Stderr, "rewrite %s mode=%s k=%d\n", id, mode, *k)
+	}
+	out, err := rw.RewriteDocumentContext(ctx, d, mode)
+	if *audit || *verbose {
 		for _, c := range rw.Audit.Calls() {
-			fmt.Fprintf(os.Stderr, "call %-20s depth=%d cost=%.2f returned %d nodes\n",
-				c.Func, c.Depth, c.Cost, c.ResultNodes)
+			fmt.Fprintf(os.Stderr, "call %-20s rewrite=%s depth=%d cost=%.2f returned %d nodes\n",
+				c.Func, c.Rewrite, c.Depth, c.Cost, c.ResultNodes)
 		}
 	}
 	if err != nil {

@@ -83,6 +83,44 @@ func TestRewriteCommandSimulated(t *testing.T) {
 	}
 }
 
+// TestRewriteVerbose: -v prints a generated rewrite id and stamps it on the
+// invocation trail.
+func TestRewriteVerbose(t *testing.T) {
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	_, runErr := capture(t, func() error {
+		return run([]string{"rewrite", "-sender", "testdata/star.axs", "-target", "testdata/starstar.axs",
+			"-mode", "safe", "-k", "1", "-sim", "7", "-v", "testdata/newspaper.xml"})
+	})
+	w.Close()
+	os.Stderr = oldErr
+	errOut, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("%v\n%s", runErr, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(string(errOut)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "rewrite ") {
+		t.Fatalf("stderr should open with the rewrite id:\n%s", errOut)
+	}
+	id := strings.Fields(lines[0])[1]
+	var sawCall bool
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "call ") {
+			sawCall = true
+			if !strings.Contains(l, "rewrite="+id) {
+				t.Errorf("call line not stamped with %s: %q", id, l)
+			}
+		}
+	}
+	if !sawCall {
+		t.Errorf("no call lines on stderr:\n%s", errOut)
+	}
+}
+
 func TestSchemaCheckCommand(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"schema-check", "-sender", "testdata/star.axs", "-target", "testdata/starstar.axs", "-k", "1"})

@@ -13,6 +13,12 @@
 // -retry-backoff, -breaker-failures and -breaker-cooldown; -parallel sets
 // the materialization engine's concurrency degree (1 = sequential).
 //
+// Telemetry is on by default (-telemetry=false disables it): the daemon
+// additionally serves GET /metrics (Prometheus text) and GET /debug/traces
+// (recent spans, JSON). -pprof addr serves net/http/pprof on a separate
+// listener restricted to loopback addresses (e.g. -pprof :6060 binds
+// 127.0.0.1:6060).
+//
 // Example:
 //
 //	axmld -name news -schema news.axs -docs ./docs -sim 7 -addr :8080 \
@@ -25,7 +31,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -38,26 +46,45 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/telemetry"
 	"axml/internal/workload"
 	"axml/internal/xsdint"
 )
 
 func main() {
-	p, addr, err := configure(os.Args[1:])
+	p, opts, err := configure(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "axmld:", err)
 		os.Exit(2)
 	}
-	log.Printf("peer %q serving on %s (k=%d, mode=%s)", p.Name, addr, p.K, p.Mode)
-	if err := http.ListenAndServe(addr, p.Handler()); err != nil {
+	if opts.pprof != "" {
+		go func() {
+			// The pprof listener deliberately uses http.DefaultServeMux, which
+			// net/http/pprof registers its handlers on; configure has already
+			// pinned the address to loopback.
+			log.Printf("pprof serving on %s", opts.pprof)
+			if err := http.ListenAndServe(opts.pprof, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+	log.Printf("peer %q serving on %s (k=%d, mode=%s, telemetry=%v)",
+		p.Name, opts.addr, p.K, p.Mode, p.Telemetry != nil)
+	if err := http.ListenAndServe(opts.addr, p.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "axmld:", err)
 		os.Exit(1)
 	}
 }
 
+// options carries the daemon-level settings that are not part of the peer.
+type options struct {
+	addr  string
+	pprof string // "" = pprof disabled; otherwise a loopback host:port
+}
+
 // configure parses flags and builds the peer; split from main so tests can
 // drive flag validation without binding a socket.
-func configure(args []string) (*peer.Peer, string, error) {
+func configure(args []string) (*peer.Peer, options, error) {
 	fs := flag.NewFlagSet("axmld", flag.ContinueOnError)
 	name := fs.String("name", "axml-peer", "peer name")
 	schemaPath := fs.String("schema", "", "peer schema (.axs text DSL or .xsd XML Schema_int)")
@@ -76,39 +103,45 @@ func configure(args []string) (*peer.Peer, string, error) {
 	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures opening a per-endpoint circuit breaker (0 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", invoke.DefaultBreakerCooldown, "how long an open breaker rejects calls before probing")
 	parallel := fs.Int("parallel", 1, "parallel materialization degree for enforcement rewritings (1 = sequential)")
+	telemetryOn := fs.Bool("telemetry", true, "serve /metrics and /debug/traces and instrument the pipeline")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. :6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, options{}, err
 	}
 
 	if *schemaPath == "" {
-		return nil, "", fmt.Errorf("-schema is required")
+		return nil, options{}, fmt.Errorf("-schema is required")
 	}
 	// A zero or negative capacity would silently disable the enforcement
 	// cache (or worse, misconfigure the peer); reject it up front.
 	if *cacheSize <= 0 {
-		return nil, "", fmt.Errorf("-cache must be positive, got %d", *cacheSize)
+		return nil, options{}, fmt.Errorf("-cache must be positive, got %d", *cacheSize)
 	}
 	if *wordCacheSize <= 0 {
-		return nil, "", fmt.Errorf("-word-cache must be positive, got %d", *wordCacheSize)
+		return nil, options{}, fmt.Errorf("-word-cache must be positive, got %d", *wordCacheSize)
 	}
 	if *maxRequest <= 0 {
-		return nil, "", fmt.Errorf("-max-request must be positive, got %d", *maxRequest)
+		return nil, options{}, fmt.Errorf("-max-request must be positive, got %d", *maxRequest)
 	}
 	if *retries < 1 {
-		return nil, "", fmt.Errorf("-retries must be at least 1, got %d", *retries)
+		return nil, options{}, fmt.Errorf("-retries must be at least 1, got %d", *retries)
 	}
 	if *callTimeout < 0 {
-		return nil, "", fmt.Errorf("-call-timeout must not be negative, got %v", *callTimeout)
+		return nil, options{}, fmt.Errorf("-call-timeout must not be negative, got %v", *callTimeout)
 	}
 	if *breakerFailures < 0 {
-		return nil, "", fmt.Errorf("-breaker-failures must not be negative, got %d", *breakerFailures)
+		return nil, options{}, fmt.Errorf("-breaker-failures must not be negative, got %d", *breakerFailures)
 	}
 	if *parallel < 1 {
-		return nil, "", fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
+		return nil, options{}, fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
+	}
+	pprof, err := loopbackAddr(*pprofAddr)
+	if err != nil {
+		return nil, options{}, err
 	}
 	s, err := loadSchema(*schemaPath)
 	if err != nil {
-		return nil, "", err
+		return nil, options{}, err
 	}
 	p := peer.New(*name, s)
 	p.K = *k
@@ -120,7 +153,7 @@ func configure(args []string) (*peer.Peer, string, error) {
 	case "mixed":
 		p.Mode = core.Mixed
 	default:
-		return nil, "", fmt.Errorf("bad -mode %q", *mode)
+		return nil, options{}, fmt.Errorf("bad -mode %q", *mode)
 	}
 	if *endpoint != "" {
 		p.Endpoint = *endpoint
@@ -136,10 +169,13 @@ func configure(args []string) (*peer.Peer, string, error) {
 	p.MaxRequestBytes = *maxRequest
 	p.Policies = policies(*breakerFailures, *breakerCooldown, *retries, *retryBackoff, *callTimeout)
 	p.Parallelism = *parallel
+	if *telemetryOn {
+		p.Telemetry = telemetry.NewRegistry()
+	}
 
 	if *docsDir != "" {
 		if err := p.Repo.LoadDir(*docsDir); err != nil {
-			return nil, "", err
+			return nil, options{}, err
 		}
 		log.Printf("loaded %d documents from %s", p.Repo.Len(), *docsDir)
 	}
@@ -156,12 +192,33 @@ func configure(args []string) (*peer.Peer, string, error) {
 				},
 			})
 			if err != nil {
-				return nil, "", err
+				return nil, options{}, err
 			}
 		}
 		log.Printf("registered %d simulated operations", len(s.Funcs))
 	}
-	return p, *addr, nil
+	return p, options{addr: *addr, pprof: pprof}, nil
+}
+
+// loopbackAddr validates a -pprof address: an empty host binds 127.0.0.1,
+// anything other than a loopback host is rejected — profiling endpoints
+// expose heap contents and must not face the network.
+func loopbackAddr(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("-pprof: %v", err)
+	}
+	switch host {
+	case "":
+		host = "127.0.0.1"
+	case "localhost", "127.0.0.1", "::1":
+	default:
+		return "", fmt.Errorf("-pprof must bind a loopback address, got host %q", host)
+	}
+	return net.JoinHostPort(host, port), nil
 }
 
 // policies assembles the peer's invocation chain in the conventional order:

@@ -40,6 +40,9 @@ func TestConfigureRejectsBadFlags(t *testing.T) {
 		{"negative timeout", []string{"-schema", sp, "-call-timeout", "-1s"}, "-call-timeout must not be negative"},
 		{"negative breaker", []string{"-schema", sp, "-breaker-failures", "-1"}, "-breaker-failures must not be negative"},
 		{"bad mode", []string{"-schema", sp, "-mode", "yolo"}, "bad -mode"},
+		{"pprof no port", []string{"-schema", sp, "-pprof", "6060"}, "-pprof"},
+		{"pprof public", []string{"-schema", sp, "-pprof", "0.0.0.0:6060"}, "loopback"},
+		{"pprof hostname", []string{"-schema", sp, "-pprof", "example.com:6060"}, "loopback"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,7 +56,7 @@ func TestConfigureRejectsBadFlags(t *testing.T) {
 
 func TestConfigureBuildsPeer(t *testing.T) {
 	sp := writeSchema(t)
-	p, addr, err := configure([]string{
+	p, opts, err := configure([]string{
 		"-schema", sp, "-name", "news", "-addr", ":9999", "-mode", "possible",
 		"-sim", "7",
 		"-call-timeout", "2s", "-retries", "3", "-breaker-failures", "4",
@@ -61,14 +64,49 @@ func TestConfigureBuildsPeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":9999" || p.Name != "news" {
-		t.Errorf("addr=%q name=%q", addr, p.Name)
+	if opts.addr != ":9999" || p.Name != "news" {
+		t.Errorf("addr=%q name=%q", opts.addr, p.Name)
 	}
 	if len(p.Policies) != 3 {
 		t.Errorf("policies = %d, want 3 (breaker, retry, timeout)", len(p.Policies))
 	}
 	if _, ok := p.Services.Lookup("Get_Temp"); !ok {
 		t.Error("simulated operation not registered")
+	}
+	if p.Telemetry == nil {
+		t.Error("telemetry should default on")
+	}
+	if opts.pprof != "" {
+		t.Errorf("pprof should default off, got %q", opts.pprof)
+	}
+}
+
+func TestConfigureTelemetryOff(t *testing.T) {
+	p, _, err := configure([]string{"-schema", writeSchema(t), "-telemetry=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Telemetry != nil {
+		t.Error("-telemetry=false should leave the registry nil")
+	}
+}
+
+func TestConfigurePprofLoopback(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{":6060", "127.0.0.1:6060"},
+		{"localhost:6060", "localhost:6060"},
+		{"127.0.0.1:7070", "127.0.0.1:7070"},
+		{"[::1]:6060", "[::1]:6060"},
+	}
+	for _, tc := range cases {
+		_, opts, err := configure([]string{"-schema", writeSchema(t), "-pprof", tc.in})
+		if err != nil {
+			t.Errorf("-pprof %s: %v", tc.in, err)
+			continue
+		}
+		if opts.pprof != tc.want {
+			t.Errorf("-pprof %s normalized to %q, want %q", tc.in, opts.pprof, tc.want)
+		}
 	}
 }
 

@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"axml/internal/schema"
+	"axml/internal/telemetry"
 )
 
 // DefaultCompiledCacheSize bounds how many distinct schema pairs a
@@ -62,6 +64,12 @@ type CompiledCache struct {
 	inflight map[string]*inflightCompile
 
 	hits, misses, evictions atomic.Uint64
+
+	// instr/compileSeconds are set once by Instrument (before the cache
+	// serves traffic) and propagated onto every Compiled this cache
+	// produces, so word-level analyses report into the same registry.
+	instr          *Instruments
+	compileSeconds *telemetry.Histogram
 }
 
 type compiledEntry struct {
@@ -150,6 +158,7 @@ func (cc *CompiledCache) Get(sender, target *schema.Schema) *Compiled {
 	fl := &inflightCompile{done: make(chan struct{})}
 	cc.inflight[key] = fl
 	cc.misses.Add(1)
+	instr, compileSeconds := cc.instr, cc.compileSeconds
 	cc.mu.Unlock()
 
 	defer func() {
@@ -168,12 +177,50 @@ func (cc *CompiledCache) Get(sender, target *schema.Schema) *Compiled {
 		}
 		cc.mu.Unlock()
 	}()
+	var t0 time.Time
+	if compileSeconds != nil {
+		t0 = time.Now()
+	}
 	c = Compile(sender, target)
+	compileSeconds.ObserveSince(t0)
 	if cc.WordCacheCapacity != 0 {
 		c.SetWordCacheCapacity(cc.WordCacheCapacity)
 	}
+	if instr != nil {
+		c.SetInstruments(instr)
+	}
 	fl.c = c
 	return c
+}
+
+// Instrument wires the cache into a telemetry registry: hit/miss/eviction
+// and residency series read the live counters at scrape time, compile runs
+// are timed into axml_compile_seconds, and every Compiled this cache has
+// produced (or produces later) reports its word-level analyses through the
+// registry's instruments. Call once, before the cache serves traffic;
+// re-instrumenting replaces the scrape callbacks but not handles already
+// captured by resident rewriters. A nil cache or registry no-ops.
+func (cc *CompiledCache) Instrument(reg *telemetry.Registry) *Instruments {
+	if cc == nil || reg == nil {
+		return nil
+	}
+	ins := NewInstruments(reg)
+	cc.mu.Lock()
+	cc.instr = ins
+	cc.compileSeconds = reg.Histogram("axml_compile_seconds", telemetry.DefBuckets)
+	for el := cc.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*compiledEntry).c.SetInstruments(ins)
+	}
+	cc.mu.Unlock()
+	reg.CounterFunc("axml_compile_cache_hits_total", func() float64 { return float64(cc.hits.Load()) })
+	reg.CounterFunc("axml_compile_cache_misses_total", func() float64 { return float64(cc.misses.Load()) })
+	reg.CounterFunc("axml_compile_cache_evictions_total", func() float64 { return float64(cc.evictions.Load()) })
+	reg.GaugeFunc("axml_compile_cache_entries", func() float64 { return float64(cc.Len()) })
+	reg.CounterFunc("axml_word_cache_hits_total", func() float64 { return float64(cc.WordStats().Hits) })
+	reg.CounterFunc("axml_word_cache_misses_total", func() float64 { return float64(cc.WordStats().Misses) })
+	reg.CounterFunc("axml_word_cache_evictions_total", func() float64 { return float64(cc.WordStats().Evictions) })
+	reg.GaugeFunc("axml_word_cache_entries", func() float64 { return float64(cc.WordStats().Size) })
+	return ins
 }
 
 // Stats snapshots the compile-level counters. Misses equals the number of

@@ -60,6 +60,22 @@ type Compiled struct {
 	deriver *regex.Deriver
 	// words memoizes word-level verdicts; see wordcache.go.
 	words atomic.Pointer[wordCacheBox]
+	// instr carries the telemetry handles word-level analyses report into
+	// (instruments.go); nil disables instrumentation.
+	instr atomic.Pointer[Instruments]
+}
+
+// SetInstruments attaches telemetry instruments to this compiled analysis:
+// word-verdict counters, analysis latency and automaton-size histograms are
+// reported through them. Pass nil to detach. Safe to call concurrently with
+// analyses; CompiledCache.Instrument and NewRewriterForConfig call this.
+func (c *Compiled) SetInstruments(ins *Instruments) {
+	c.instr.Store(ins)
+}
+
+// instruments returns the attached instruments (nil = no-op).
+func (c *Compiled) instruments() *Instruments {
+	return c.instr.Load()
 }
 
 // FuncInfo is the word-level view of a function or function-pattern symbol.

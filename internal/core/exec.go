@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"axml/internal/doc"
 	"axml/internal/regex"
+	"axml/internal/telemetry"
 )
 
 // RewriteDocument rewrites the document in place into the target schema and
@@ -59,7 +62,34 @@ func (rw *Rewriter) RewriteForestContext(ctx context.Context, forest []*doc.Node
 	if rw.Invoker == nil {
 		return nil, fmt.Errorf("core: Rewriter has no Invoker; use CheckForest for static analysis")
 	}
-	ex := &executor{rw: rw, ctx: WithEventSink(ctx, rw.Audit), mode: mode, audit: rw.Audit,
+	// Every top-level rewriting carries an ID — generated here unless the
+	// caller pinned one with telemetry.WithTraceID — stamped on call records,
+	// policy events and spans so a slow trace matches its audit trail.
+	id := telemetry.TraceIDFrom(ctx)
+	if id == "" {
+		id = telemetry.NewID()
+		ctx = telemetry.WithTraceID(ctx, id)
+	}
+	ins := rw.Instruments
+	sink := &stampSink{inner: rw.Audit, ins: ins, id: id}
+	if ins == nil {
+		return rw.rewriteForest(ctx, forest, typ, mode, sink)
+	}
+	ctx = telemetry.WithRegistry(ctx, ins.Registry())
+	ctx, span := telemetry.StartSpan(ctx, rewriteSpanName(mode))
+	span.SetAttr("rewrite_id", id)
+	span.SetAttr("k", strconv.Itoa(rw.K))
+	start := time.Now()
+	out, err := rw.rewriteForest(ctx, forest, typ, mode, sink)
+	ins.observeRewrite(mode, time.Since(start), err)
+	span.End(err)
+	return out, err
+}
+
+// rewriteForest is the uninstrumented body of RewriteForestContext; sink is
+// the (stamping) event sink the whole rewriting reports into.
+func (rw *Rewriter) rewriteForest(ctx context.Context, forest []*doc.Node, typ *regex.Regex, mode Mode, sink EventSink) ([]*doc.Node, error) {
+	ex := &executor{rw: rw, ctx: WithEventSink(ctx, sink), mode: mode, audit: rw.Audit,
 		st: &execState{
 			paramsDone: map[*doc.Node]bool{},
 			permafrost: map[*doc.Node]bool{},
@@ -375,6 +405,7 @@ func (ex *executor) rewriteWord(children []*doc.Node, typ *regex.Regex, path []s
 			}
 		}
 		// Flip the most recent keep to a forced call and resume there.
+		ex.rw.Instruments.countBacktrack()
 		flip := w.kept[len(w.kept)-1]
 		w.kept = w.kept[:len(w.kept)-1]
 		flip.kept = false
@@ -419,11 +450,13 @@ func (w *wordRun) decideFrom(j int) error {
 			}
 			if ok {
 				w.kept = append(w.kept, it)
+				ex.rw.Instruments.countKeep()
 				j++
 				continue
 			}
 			it.kept = false
 		}
+		ex.rw.Instruments.countInvoke()
 		res, err := ex.invoke(it.node, it.depth+1)
 		if err != nil {
 			if ex.degradable(err) {
@@ -507,7 +540,25 @@ func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
 	if err := ex.reserveCall(); err != nil {
 		return nil, err
 	}
-	res, err := ex.rw.Invoker.Invoke(ex.ctx, call)
+	ins := ex.rw.Instruments
+	ictx := ex.ctx
+	var span *telemetry.Span
+	var start time.Time
+	var epi *endpointInstruments
+	if ins != nil {
+		epi = ins.endpoint(EndpointOf(call))
+		ictx, span = telemetry.StartSpan(ex.ctx, epi.spanName)
+		span.SetAttr("func", call.Label)
+		start = time.Now()
+	}
+	res, err := ex.rw.Invoker.Invoke(ictx, call)
+	if epi != nil {
+		epi.seconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			epi.errors.Inc()
+		}
+		span.End(err)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: invoking %q: %w", call.Label, err)
 	}
@@ -525,7 +576,8 @@ func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
 	if fi := c.Func(c.Table.Intern(call.Label)); fi != nil {
 		cost = fi.Cost
 	}
-	ex.audit.Record(CallRecord{Func: call.Label, Depth: depth, Cost: cost, ResultNodes: len(res)})
+	ex.audit.Record(CallRecord{Func: call.Label, Depth: depth, Cost: cost,
+		ResultNodes: len(res), Rewrite: telemetry.TraceIDFrom(ex.ctx)})
 	return res, nil
 }
 

@@ -141,6 +141,10 @@ type InvokeEvent struct {
 	Wait time.Duration
 	// Err carries the triggering error, if any.
 	Err string
+	// Rewrite is the ID of the top-level rewriting this event belongs to,
+	// stamped by the executor so a trace can be matched to its audit trail.
+	// Empty for events recorded outside an identified rewriting.
+	Rewrite string
 }
 
 // EventSink receives invocation events. *Audit implements it; policies reach
@@ -190,6 +194,9 @@ type CallRecord struct {
 	Cost  float64
 	// ResultNodes counts the root nodes of the returned forest.
 	ResultNodes int
+	// Rewrite is the ID of the top-level rewriting that performed the call
+	// (see InvokeEvent.Rewrite); empty outside an identified rewriting.
+	Rewrite string
 }
 
 // Audit accumulates the invocation trail of a rewriting: completed calls

@@ -113,6 +113,7 @@ func (ex *executor) runSlots(n int, fn func(child *executor, i int) error) error
 			cancel()
 		}
 	}
+	ins := ex.rw.Instruments
 	for i := 0; i < n; i++ {
 		bufs[i] = &Audit{}
 		if sched.tryAcquire() {
@@ -120,10 +121,14 @@ func (ex *executor) runSlots(n int, fn func(child *executor, i int) error) error
 			go func(i int) {
 				defer wg.Done()
 				defer sched.release()
+				ins.taskStart(true)
+				defer ins.taskEnd()
 				run(i)
 			}(i)
 		} else {
+			ins.taskStart(false)
 			run(i)
+			ins.taskEnd()
 		}
 	}
 	wg.Wait()
@@ -212,6 +217,7 @@ func (w *wordRun) decideParallel() error {
 				return err
 			}
 			if ok {
+				ex.rw.Instruments.countKeep()
 				continue
 			}
 			it.kept = false
@@ -219,8 +225,10 @@ func (w *wordRun) decideParallel() error {
 				// Dependent position: the verdict could change once the
 				// pending calls' actual results are spliced. Leave it
 				// undecided for the next round.
+				ex.rw.Instruments.countDefer()
 				continue
 			}
+			ex.rw.Instruments.countInvoke()
 			it.pending = true
 			pending = append(pending, j)
 			if !ex.singletonOutput(it.node) {
@@ -230,6 +238,7 @@ func (w *wordRun) decideParallel() error {
 		if len(pending) == 0 {
 			return nil
 		}
+		ex.rw.Instruments.round(phaseWord, len(pending))
 		results := make([][]*doc.Node, len(pending))
 		err := ex.runSlots(len(pending), func(child *executor, k int) error {
 			it := w.items[pending[k]]
@@ -336,6 +345,7 @@ func (ex *executor) preInvokeBatch(forest []*doc.Node, depth int, path []string)
 		if len(tasks) == 0 {
 			return holder.Children, nil
 		}
+		ex.rw.Instruments.round(phasePre, len(tasks))
 		err := ex.runSlots(len(tasks), func(child *executor, k int) error {
 			t := tasks[k]
 			res, err := child.invoke(t.node, t.depth+1)

@@ -7,6 +7,7 @@ import (
 	"axml/internal/doc"
 	"axml/internal/regex"
 	"axml/internal/schema"
+	"axml/internal/telemetry"
 )
 
 // Mode selects the rewriting discipline.
@@ -84,6 +85,11 @@ type Rewriter struct {
 	// calls). Values <= 1 select the sequential engine, byte-for-byte
 	// identical to the original behavior including audit order.
 	Parallelism int
+	// Instruments, if set, reports the rewriting pipeline into a telemetry
+	// registry (see instruments.go): per-mode latency, keep/invoke/defer/
+	// backtrack decisions, per-endpoint call latency, bridged policy events
+	// and tracing spans. Nil (the default) is a zero-overhead no-op.
+	Instruments *Instruments
 
 	ctx *schema.Context
 }
@@ -128,6 +134,10 @@ type RewriterConfig struct {
 	// Parallelism is the degree of the parallel materialization engine;
 	// 0 selects DefaultParallelism (sequential execution).
 	Parallelism int
+	// Telemetry, if set, instruments the rewriter (and the shared Compiled's
+	// word-level analyses) against this registry; see internal/telemetry.
+	// Nil leaves every instrumentation path a no-op.
+	Telemetry *telemetry.Registry
 }
 
 // NewRewriter builds a rewriter for the (sender, target) schema pair,
@@ -188,6 +198,11 @@ func NewRewriterForConfig(c *Compiled, cfg RewriterConfig) *Rewriter {
 	if inv != nil {
 		inv = ApplyPolicies(inv, cfg.Policies)
 	}
+	var ins *Instruments
+	if cfg.Telemetry != nil {
+		ins = NewInstruments(cfg.Telemetry)
+		c.SetInstruments(ins)
+	}
 	return &Rewriter{
 		Compiled:        c,
 		K:               depth,
@@ -200,6 +215,7 @@ func NewRewriterForConfig(c *Compiled, cfg RewriterConfig) *Rewriter {
 		Converters:      cfg.Converters,
 		Audit:           audit,
 		Parallelism:     parallelism,
+		Instruments:     ins,
 		ctx:             schema.NewContext(c.Target, c.Sender),
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"axml/internal/automata"
 	"axml/internal/regex"
@@ -76,14 +77,30 @@ func (a *SafeAnalysis) NumProdEdges() int {
 // extraAlphabet extends the effective alphabet with symbols the caller knows
 // about beyond the two schemas (e.g. labels that only occur in documents).
 func AnalyzeSafe(c *Compiled, tokens []Token, target *regex.Regex, k int, extraAlphabet []regex.Symbol) (*SafeAnalysis, error) {
+	ins := c.instruments()
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
 	fork, err := BuildFork(c, tokens, k)
 	if err != nil {
 		return nil, err
 	}
+	if ins != nil {
+		ins.forkSeconds.ObserveSince(t0)
+		ins.forkStates.Observe(float64(fork.NumStates()))
+		t0 = time.Now()
+	}
 	expanded := c.ExpandPatterns(target)
 	compl := automata.ComplementOfRegex(expanded, alphabetFor(c, tokens, extraAlphabet))
+	if ins != nil {
+		ins.complSeconds.ObserveSince(t0)
+	}
 	a := buildProduct(fork, compl, expanded)
 	a.mark()
+	if ins != nil {
+		ins.prodEager.Observe(float64(a.NumProdStates()))
+	}
 	return a, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"axml/internal/regex"
 )
@@ -149,6 +150,8 @@ func wordKey(engine EngineKind, mode Mode, tokens []Token, target *regex.Regex, 
 // mode and engine? Cache misses run the same analyses the uncached entry
 // points do; errors (oversized fork automata) are never cached.
 func (c *Compiled) WordVerdict(engine EngineKind, mode Mode, tokens []Token, target *regex.Regex, k int) (bool, error) {
+	ins := c.instruments()
+	ins.observeWordVerdict(engine, mode)
 	wc := c.loadWordCache()
 	var key string
 	if wc != nil {
@@ -157,18 +160,22 @@ func (c *Compiled) WordVerdict(engine EngineKind, mode Mode, tokens []Token, tar
 			return v, nil
 		}
 	}
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	var verdict bool
 	var err error
+	var lazyRes *LazyResult
 	switch engine {
 	case Lazy:
-		var res *LazyResult
 		if mode == Possible {
-			res, err = LazyPossible(c, tokens, target, k)
+			lazyRes, err = LazyPossible(c, tokens, target, k)
 		} else {
-			res, err = LazySafe(c, tokens, target, k)
+			lazyRes, err = LazySafe(c, tokens, target, k)
 		}
 		if err == nil {
-			verdict = res.Verdict
+			verdict = lazyRes.Verdict
 		}
 	default:
 		if mode == Possible {
@@ -179,6 +186,10 @@ func (c *Compiled) WordVerdict(engine EngineKind, mode Mode, tokens []Token, tar
 	}
 	if err != nil {
 		return false, err
+	}
+	if ins != nil {
+		ins.observeWordAnalysis(engine, mode, time.Since(start))
+		ins.observeLazy(lazyRes)
 	}
 	if wc != nil {
 		wc.put(key, verdict)

@@ -8,6 +8,7 @@ import (
 
 	"axml/internal/core"
 	"axml/internal/soap"
+	"axml/internal/telemetry"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
 	"axml/internal/xsdint"
@@ -24,19 +25,33 @@ import (
 //	                         the document rewritten to conform to it.
 //	                         ?mode=safe|possible|mixed (default: the peer's)
 //	GET  /stats            — enforcement-cache and audit counters, as JSON
+//
+// When Telemetry is set, every route is wrapped with per-handler request
+// metrics and spans, and two further routes appear:
+//
+//	GET  /metrics          — Prometheus text exposition of the registry
+//	GET  /debug/traces     — the recent-span ring, as JSON
 func (p *Peer) Handler() http.Handler {
+	p.instruments() // wire cache scrape-time series before traffic
 	mux := http.NewServeMux()
-	mux.Handle("/soap", &soap.Server{
+	handle := func(pattern, name string, h http.Handler) {
+		mux.Handle(pattern, telemetry.InstrumentHandler(p.Telemetry, name, h))
+	}
+	handle("/soap", "soap", &soap.Server{
 		Registry:        p.Services,
 		Namespace:       "urn:axml:" + p.Name,
 		OnRequest:       p.EnforceInContext,
 		OnResponse:      p.EnforceOutContext,
 		MaxRequestBytes: p.MaxRequestBytes,
 	})
-	mux.HandleFunc("/wsdl", p.handleWSDL)
-	mux.HandleFunc("/doc/", p.handleDoc)
-	mux.HandleFunc("/exchange/", p.handleExchange)
-	mux.HandleFunc("/stats", p.handleStats)
+	handle("/wsdl", "wsdl", http.HandlerFunc(p.handleWSDL))
+	handle("/doc/", "doc", http.HandlerFunc(p.handleDoc))
+	handle("/exchange/", "exchange", http.HandlerFunc(p.handleExchange))
+	handle("/stats", "stats", http.HandlerFunc(p.handleStats))
+	if p.Telemetry != nil {
+		mux.Handle("/metrics", p.Telemetry.MetricsHandler())
+		mux.Handle("/debug/traces", p.Telemetry.Tracer().TracesHandler())
+	}
 	return mux
 }
 
@@ -107,7 +122,12 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports the enforcement cache's effectiveness: compile-cache
 // hits and misses (misses == core.Compile runs since start), the aggregated
-// word-verdict memo counters, and the invocation audit size.
+// word-verdict memo counters, and the invocation audit size. With Telemetry
+// configured the cache numbers are read back from the registry's
+// axml_compile_cache_* / axml_word_cache_* series — the registry is the
+// single source of truth and /stats is a JSON view of it (see DESIGN.md §8
+// for the field-to-series mapping); the JSON shape is unchanged either way,
+// except for a "telemetry" flag reporting which source served the numbers.
 func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -115,6 +135,10 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	compiled := p.Enforcement.Stats()
 	words := p.Enforcement.WordStats()
+	if reg := p.Telemetry; reg != nil && p.instruments() != nil {
+		compiled = registryCacheStats(reg, "axml_compile_cache", compiled)
+		words = registryCacheStats(reg, "axml_word_cache", words)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"peer":          p.Name,
@@ -123,5 +147,24 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"word_cache":    words,
 		"invocations":   p.Audit.Len(),
 		"parallelism":   max(p.Parallelism, 1),
+		"telemetry":     p.Telemetry != nil,
 	})
+}
+
+// registryCacheStats reassembles a CacheStats from the four scrape-time
+// series the enforcement cache registers under the given prefix.
+func registryCacheStats(reg *telemetry.Registry, prefix string, fallback core.CacheStats) core.CacheStats {
+	hits, ok1 := reg.Value(prefix + "_hits_total")
+	misses, ok2 := reg.Value(prefix + "_misses_total")
+	evictions, ok3 := reg.Value(prefix + "_evictions_total")
+	size, ok4 := reg.Value(prefix + "_entries")
+	if !(ok1 && ok2 && ok3 && ok4) {
+		return fallback
+	}
+	return core.CacheStats{
+		Hits:      uint64(hits),
+		Misses:    uint64(misses),
+		Evictions: uint64(evictions),
+		Size:      int(size),
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/telemetry"
 	"axml/internal/wsdl"
 )
 
@@ -56,9 +57,18 @@ type Peer struct {
 	// pre-invocation, pipelined safe-mode calls). Values <= 1 keep the
 	// sequential engine.
 	Parallelism int
+	// Telemetry, if set, instruments the whole peer against this registry:
+	// enforcement rewritings, the compiled-schema and word-verdict caches,
+	// the invocation layer's policy events, and (through Handler) per-HTTP-
+	// handler metrics plus the /metrics and /debug/traces endpoints. Set
+	// before the peer serves traffic.
+	Telemetry *telemetry.Registry
 
 	invOnce sync.Once
 	inv     core.Invoker
+
+	insOnce sync.Once
+	ins     *core.Instruments
 }
 
 // New creates a peer over the given schema.
@@ -94,14 +104,29 @@ func (p *Peer) policyInvoker() core.Invoker {
 	return p.inv
 }
 
+// instruments lazily wires the peer's telemetry: the enforcement cache's
+// scrape-time series plus the pipeline instruments shared by every
+// enforcement rewriter. Built once; nil when Telemetry is unset.
+func (p *Peer) instruments() *core.Instruments {
+	p.insOnce.Do(func() {
+		if p.Telemetry == nil {
+			return
+		}
+		p.ins = p.Enforcement.Instrument(p.Telemetry)
+	})
+	return p.ins
+}
+
 // rewriter builds an enforcement rewriter against a target schema (which
 // must share the peer schema's symbol table). The expensive schema-pair
 // analysis comes from the Enforcement cache; only the cheap per-message
 // rewriter state is fresh.
 func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
+	ins := p.instruments()
 	rw := core.NewRewriterFor(p.Enforcement.Get(p.Schema, target), p.K, p.policyInvoker())
 	rw.Audit = p.Audit
 	rw.Parallelism = p.Parallelism
+	rw.Instruments = ins
 	return rw
 }
 

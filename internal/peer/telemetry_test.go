@@ -1,0 +1,184 @@
+package peer
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"axml/internal/telemetry"
+)
+
+const exchangeTarget = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="newspaper">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="title"/>
+        <xs:element ref="date"/>
+        <xs:element ref="temp"/>
+        <xs:choice>
+          <xs:element ref="TimeOut"/>
+          <xs:element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/>
+        </xs:choice>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+// TestPeerTelemetryEndpoints drives one /exchange through an instrumented
+// peer and checks the whole observability surface: /metrics exposition,
+// /debug/traces linkage, and the /stats JSON folded onto the registry.
+func TestPeerTelemetryEndpoints(t *testing.T) {
+	p := newsPeer(t)
+	p.Telemetry = telemetry.NewRegistry()
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/exchange/today?mode=safe", "text/xml", strings.NewReader(exchangeTarget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exchange failed: %d %s", resp.StatusCode, body)
+	}
+
+	// /metrics serves Prometheus text with the pipeline sentinels.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, sentinel := range []string{
+		"axml_compile_cache_misses_total 1",
+		`axml_rewrites_total{mode="safe"} 1`,
+		`axml_rewrite_seconds_count{mode="safe"} 1`,
+		`axml_invoke_seconds_count{endpoint="Get_Temp"} 1`,
+		"axml_invoke_retries_total 0",
+		`axml_breaker_transitions_total{state="open"} 0`,
+		`axml_http_requests_total{code="2xx",handler="exchange"} 1`,
+		`axml_http_request_seconds_count{handler="exchange"} 1`,
+		`axml_word_decisions_total{decision="invoke"} 1`,
+	} {
+		if !strings.Contains(string(metrics), sentinel) {
+			t.Errorf("/metrics missing %q", sentinel)
+		}
+	}
+
+	// /debug/traces shows the rewrite span nested inside the HTTP span.
+	resp, err = http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Recorded uint64                 `json:"recorded"`
+		Spans    []telemetry.SpanRecord `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&traces)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]telemetry.SpanRecord{}
+	for _, s := range traces.Spans {
+		byName[s.Name] = s
+	}
+	httpSpan, ok1 := byName["http.exchange"]
+	rwSpan, ok2 := byName["rewrite.safe"]
+	invSpan, ok3 := byName["invoke.Get_Temp"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing spans, got %v", traces.Spans)
+	}
+	if rwSpan.TraceID != httpSpan.TraceID || rwSpan.ParentID != httpSpan.SpanID {
+		t.Errorf("rewrite span not nested under http span: %+v vs %+v", rwSpan, httpSpan)
+	}
+	if invSpan.TraceID != httpSpan.TraceID {
+		t.Errorf("invoke span in a different trace: %+v", invSpan)
+	}
+
+	// Audit call records carry the same trace ID as the rewrite.
+	calls := p.Audit.Calls()
+	if len(calls) != 1 || calls[0].Rewrite != httpSpan.TraceID {
+		t.Errorf("audit not correlated: %+v, want rewrite id %s", calls, httpSpan.TraceID)
+	}
+
+	// /stats keeps its shape but now reads from the registry.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		CompileCache struct {
+			Misses uint64 `json:"Misses"`
+		} `json:"compile_cache"`
+		Invocations int  `json:"invocations"`
+		Telemetry   bool `json:"telemetry"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Telemetry {
+		t.Error("stats should report telemetry enabled")
+	}
+	if stats.CompileCache.Misses != 1 || stats.Invocations != 1 {
+		t.Errorf("stats folded onto registry disagree: %+v", stats)
+	}
+}
+
+// TestPeerWithoutTelemetry: no registry, no /metrics route, everything else
+// untouched.
+func TestPeerWithoutTelemetry(t *testing.T) {
+	p := newsPeer(t)
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without telemetry: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Telemetry bool `json:"telemetry"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Telemetry {
+		t.Error("stats should report telemetry disabled")
+	}
+	p2 := newsPeer(t)
+	p2.Telemetry = telemetry.NewRegistry()
+	ts2 := httptest.NewServer(p2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// the full catalogue is visible before any traffic
+	if !strings.Contains(string(body), "axml_compile_cache_hits_total 0") {
+		t.Errorf("boot-time exposition missing cache series:\n%s", body)
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// MetricsHandler serves the registry in Prometheus text format 0.0.4.
+// A nil registry serves 503 so a disabled daemon still answers.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if r == nil {
+			http.Error(w, "telemetry disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the retained spans as JSON, oldest first.
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if t == nil {
+			http.Error(w, "telemetry disabled", http.StatusServiceUnavailable)
+			return
+		}
+		spans := t.Spans()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"capacity": t.Capacity(),
+			"recorded": t.Recorded(),
+			"dropped":  t.Dropped(),
+			"spans":    spans,
+		})
+	})
+}
+
+// statusStrings holds pre-rendered decimal forms of the valid HTTP status
+// range so stamping a span status doesn't allocate per request.
+var statusStrings = func() (s [500]string) {
+	for i := range s {
+		s[i] = strconv.Itoa(100 + i)
+	}
+	return
+}()
+
+func statusString(code int) string {
+	if code >= 100 && code < 600 {
+		return statusStrings[code-100]
+	}
+	return strconv.Itoa(code)
+}
+
+// statusWriter captures the status code and body size a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// InstrumentHandler wraps h with per-handler request metrics and an
+// `http.<name>` span, and plants reg in the request context so deeper
+// layers (the rewriter, the invoke chain) join the same trace. The
+// metric families are:
+//
+//	axml_http_requests_total{handler,code}   counter, code is a class (2xx…)
+//	axml_http_request_seconds{handler}       histogram
+//	axml_http_request_bytes{handler}         histogram (Content-Length)
+//	axml_http_response_bytes{handler}        histogram
+//
+// Status-class counters are pre-registered so every class appears in
+// the exposition from boot. A nil registry returns h unchanged.
+func InstrumentHandler(reg *Registry, name string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	classes := [5]*Counter{}
+	for i := range classes {
+		classes[i] = reg.Counter("axml_http_requests_total",
+			"handler", name, "code", strconv.Itoa(i+1)+"xx")
+	}
+	seconds := reg.Histogram("axml_http_request_seconds", DefBuckets, "handler", name)
+	reqBytes := reg.Histogram("axml_http_request_bytes", SizeBuckets, "handler", name)
+	respBytes := reg.Histogram("axml_http_response_bytes", SizeBuckets, "handler", name)
+	spanName := "http." + name
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		ctx, span := startSpanWith(req.Context(), reg, spanName)
+		span.SetAttr("method", req.Method)
+		span.SetAttr("path", req.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, req.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if cls := sw.status/100 - 1; cls >= 0 && cls < len(classes) {
+			classes[cls].Inc()
+		}
+		seconds.ObserveSince(start)
+		if req.ContentLength >= 0 {
+			reqBytes.Observe(float64(req.ContentLength))
+		}
+		respBytes.Observe(float64(sw.bytes))
+		span.SetAttr("status", statusString(sw.status))
+		span.End(nil)
+	})
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("axml_demo_total").Add(2)
+
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "axml_demo_total 2") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+
+	var nilReg *Registry
+	rec = httptest.NewRecorder()
+	nilReg.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("nil registry /metrics = %d, want 503", rec.Code)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	_, sp := StartSpan(ctx, "rewrite.safe")
+	sp.End(nil)
+
+	rec := httptest.NewRecorder()
+	r.Tracer().TracesHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces = %d", rec.Code)
+	}
+	var body struct {
+		Capacity int          `json:"capacity"`
+		Recorded uint64       `json:"recorded"`
+		Dropped  uint64       `json:"dropped"`
+		Spans    []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Capacity != DefaultTraceCapacity || body.Recorded != 1 || len(body.Spans) != 1 {
+		t.Fatalf("unexpected body: %+v", body)
+	}
+	if body.Spans[0].Name != "rewrite.safe" {
+		t.Errorf("span name = %q", body.Spans[0].Name)
+	}
+}
+
+func TestInstrumentHandler(t *testing.T) {
+	r := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if RegistryFrom(req.Context()) != r {
+			t.Error("registry not planted in request context")
+		}
+		if SpanFrom(req.Context()) == nil {
+			t.Error("no enclosing span in request context")
+		}
+		if req.URL.Query().Get("fail") != "" {
+			http.Error(w, "nope", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("hello"))
+	})
+	h := InstrumentHandler(r, "soap", inner)
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if v, _ := r.Value("axml_http_requests_total", "handler", "soap", "code", "2xx"); v != 3 {
+		t.Errorf("2xx count = %v, want 3", v)
+	}
+	if v, _ := r.Value("axml_http_requests_total", "handler", "soap", "code", "5xx"); v != 1 {
+		t.Errorf("5xx count = %v, want 1", v)
+	}
+	if v, _ := r.Value("axml_http_request_seconds", "handler", "soap"); v != 4 {
+		t.Errorf("latency observations = %v, want 4", v)
+	}
+	if v, _ := r.Value("axml_http_response_bytes", "handler", "soap"); v != 4 {
+		t.Errorf("response size observations = %v, want 4", v)
+	}
+	// the wrapper pre-registers all status classes so they appear at boot
+	if v, ok := r.Value("axml_http_requests_total", "handler", "soap", "code", "4xx"); !ok || v != 0 {
+		t.Errorf("4xx series = %v, %v; want 0, true", v, ok)
+	}
+	spans := r.Tracer().Spans()
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	if spans[0].Name != "http.soap" {
+		t.Errorf("span name = %q", spans[0].Name)
+	}
+}
+
+func TestInstrumentHandlerNilRegistry(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {})
+	if h := InstrumentHandler(nil, "soap", inner); h == nil {
+		t.Fatal("nil registry returned nil handler")
+	}
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("axml_test_total", "op", "x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("axml_test_total", "op", "x"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("axml_test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	h := r.Histogram("axml_test_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100) // +Inf bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("histogram count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 100.55 {
+		t.Fatalf("histogram sum = %v, want 100.55", got)
+	}
+}
+
+func TestValueLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("axml_hits_total").Add(7)
+	r.Gauge("axml_depth", "peer", "p").Set(3)
+	r.Histogram("axml_lat_seconds", nil).Observe(1)
+	r.CounterFunc("axml_fn_total", func() float64 { return 42 })
+
+	cases := []struct {
+		name   string
+		labels []string
+		want   float64
+	}{
+		{"axml_hits_total", nil, 7},
+		{"axml_depth", []string{"peer", "p"}, 3},
+		{"axml_lat_seconds", nil, 1}, // histograms report their count
+		{"axml_fn_total", nil, 42},
+	}
+	for _, tc := range cases {
+		got, ok := r.Value(tc.name, tc.labels...)
+		if !ok || got != tc.want {
+			t.Errorf("Value(%s) = %v, %v; want %v, true", tc.name, got, ok, tc.want)
+		}
+	}
+	if _, ok := r.Value("axml_missing"); ok {
+		t.Error("Value on a missing series reported ok")
+	}
+}
+
+// TestPrometheusGolden pins the full exposition text: TYPE lines,
+// family and label-block ordering, cumulative le buckets, escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("axml_b_total", "mode", "safe").Add(3)
+	r.Counter("axml_b_total", "mode", "possible").Add(1)
+	r.Gauge("axml_a_gauge").Set(1.5)
+	h := r.Histogram("axml_c_seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+	r.Counter("axml_d_total", "path", `a\b"c`+"\n").Inc()
+	r.GaugeFunc("axml_e_live", func() float64 { return 9 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE axml_a_gauge gauge
+axml_a_gauge 1.5
+# TYPE axml_b_total counter
+axml_b_total{mode="possible"} 1
+axml_b_total{mode="safe"} 3
+# TYPE axml_c_seconds histogram
+axml_c_seconds_bucket{le="0.5"} 1
+axml_c_seconds_bucket{le="1"} 2
+axml_c_seconds_bucket{le="+Inf"} 3
+axml_c_seconds_sum 3
+axml_c_seconds_count 3
+# TYPE axml_d_total counter
+axml_d_total{path="a\\b\"c\n"} 1
+# TYPE axml_e_live gauge
+axml_e_live 9
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("axml_x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("axml_x_total")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad name")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("axml_nil_total")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("axml_nil_gauge")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("axml_nil_seconds", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	r.CounterFunc("axml_nil_fn", func() float64 { return 1 })
+	r.GaugeFunc("axml_nil_fn2", func() float64 { return 1 })
+	if _, ok := r.Value("axml_nil_fn"); ok {
+		t.Fatal("nil registry returned a value")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tracer() != nil {
+		t.Fatal("nil registry returned a tracer")
+	}
+}
+
+// TestConcurrentHammer drives every metric kind plus exposition from
+// many goroutines; run under -race it proves the registry is safe, and
+// the counter total proves no increments are lost.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("axml_hammer_total", "worker", []string{"a", "b"}[g%2]).Inc()
+				r.Gauge("axml_hammer_gauge").Add(1)
+				r.Histogram("axml_hammer_seconds", nil).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := r.Counter("axml_hammer_total", "worker", "a").Value() +
+		r.Counter("axml_hammer_total", "worker", "b").Value()
+	if total != goroutines*iters {
+		t.Fatalf("counter total = %d, want %d", total, goroutines*iters)
+	}
+	if got := r.Gauge("axml_hammer_gauge").Value(); got != goroutines*iters {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("axml_hammer_seconds", nil).Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"axml/internal/service"
 	"axml/internal/soap"
 	"axml/internal/telemetry"
+	"axml/internal/wal"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
 	"axml/internal/xsdint"
@@ -333,10 +334,43 @@ type (
 	ServiceOperation = service.Operation
 	// ServiceHandler implements an operation.
 	ServiceHandler = service.Handler
+	// Repository stores a peer's named intensional documents.
+	Repository = peer.Repository
+	// DurableRepository is a Repository backed by a write-ahead log and
+	// crash-safe snapshots (see OpenDurable).
+	DurableRepository = peer.DurableRepository
+	// DurableOptions configures OpenDurable.
+	DurableOptions = peer.DurableOptions
+	// ConflictPolicy decides what Repository.LoadDirWith does on collision.
+	ConflictPolicy = peer.ConflictPolicy
+	// WALSyncMode selects the WAL fsync discipline for DurableOptions.
+	WALSyncMode = wal.SyncMode
+)
+
+// LoadDir conflict policies.
+const (
+	KeepExisting   = peer.KeepExisting
+	Overwrite      = peer.Overwrite
+	FailOnConflict = peer.FailOnConflict
+)
+
+// WAL fsync disciplines.
+const (
+	WALSyncAlways   = wal.SyncAlways
+	WALSyncInterval = wal.SyncInterval
+	WALSyncNone     = wal.SyncNone
 )
 
 // NewPeer creates a peer over the given schema.
 func NewPeer(name string, s *Schema) *Peer { return peer.New(name, s) }
+
+// OpenDurable opens (or creates) a durable repository in dir, running crash
+// recovery first: newest valid snapshot plus WAL tail, torn trailing records
+// truncated. Assign the embedded Repository to a Peer to make every mutation
+// path durable; Close writes a final snapshot.
+func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
+	return peer.OpenDurable(dir, opts)
+}
 
 // Converter constructors (see internal/core for details).
 var (

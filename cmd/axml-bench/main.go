@@ -7,6 +7,7 @@
 //	axml-bench -invoke out.json  # benchmark the invocation policy chain
 //	axml-bench -parallel out.json -min-speedup 2  # parallel-engine smoke gate
 //	axml-bench -telemetry out.json -max-overhead 5  # telemetry overhead gate
+//	axml-bench -wal out.json  # durable-repository put cost per WAL sync mode
 //
 // Output is deterministic except for wall-clock timings.
 package main
@@ -32,6 +33,7 @@ import (
 	"axml/internal/service"
 	"axml/internal/soap"
 	"axml/internal/telemetry"
+	"axml/internal/wal"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 0, "with -parallel: fail unless degree 4 beats degree 1 by this factor (0 = no gate)")
 	telemetryOut := flag.String("telemetry", "", "benchmark instrumented vs uninstrumented enforcement and write the overhead JSON to this file")
 	maxOverhead := flag.Float64("max-overhead", 0, "with -telemetry: fail if the overhead exceeds this percentage (0 = no gate)")
+	walOut := flag.String("wal", "", "benchmark durable-repository put throughput across WAL sync modes and write the JSON to this file")
 	flag.Parse()
 
 	if *invokeOut != "" {
@@ -60,6 +63,13 @@ func main() {
 	}
 	if *telemetryOut != "" {
 		if err := benchTelemetry(*telemetryOut, *maxOverhead); err != nil {
+			fmt.Fprintln(os.Stderr, "axml-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *walOut != "" {
+		if err := benchWAL(*walOut); err != nil {
 			fmt.Fprintln(os.Stderr, "axml-bench:", err)
 			os.Exit(1)
 		}
@@ -247,6 +257,81 @@ func benchTelemetry(path string, maxOverheadPct float64) error {
 	if maxOverheadPct > 0 && overheadPct > maxOverheadPct {
 		return fmt.Errorf("telemetry overhead %.2f%% exceeds budget %.2f%%", overheadPct, maxOverheadPct)
 	}
+	return nil
+}
+
+// benchWAL measures what durability costs on the Put path (E-D1): the same
+// 128-name put workload against a plain in-memory repository and against
+// DurableRepository under each WAL sync mode. SyncAlways pays one fsync per
+// acknowledged mutation, so the gap between it and "none" is essentially the
+// disk's flush latency; "interval" amortizes the flush into a 100ms
+// background tick and should sit near "none".
+func benchWAL(path string) error {
+	payload := doc.Elem("page",
+		doc.Elem("title", doc.TextNode("bench")),
+		doc.Elem("body", doc.TextNode(strings.Repeat("intensional ", 24))))
+	measure := func(put func(i int) error) (testing.BenchmarkResult, error) {
+		var putErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := put(i); err != nil {
+					putErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		return res, putErr
+	}
+
+	mem := peer.NewRepository()
+	base, err := measure(func(i int) error {
+		return mem.Put(fmt.Sprintf("doc%03d", i%128), payload)
+	})
+	if err != nil {
+		return err
+	}
+	report := map[string]any{
+		"benchmark":           "wal-put-throughput",
+		"workload":            "Put of a ~330-byte document over 128 rotating names, snapshot every 4096",
+		"memory_ns_per_op":    base.NsPerOp(),
+		"generated_by_flag":   "-wal",
+		"ns_per_op_unit_note": "lower is better; memory_ns_per_op is the no-durability baseline",
+	}
+	fmt.Printf("wal benchmark: in-memory %d ns/op\n", base.NsPerOp())
+	for _, mode := range []wal.SyncMode{wal.SyncNone, wal.SyncInterval, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "axml-bench-wal-")
+		if err != nil {
+			return err
+		}
+		d, err := peer.OpenDurable(dir, peer.DurableOptions{Sync: mode, SnapshotEvery: 4096})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		res, err := measure(func(i int) error {
+			return d.Put(fmt.Sprintf("doc%03d", i%128), payload)
+		})
+		st := d.Stats()
+		d.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		report[mode.String()+"_ns_per_op"] = res.NsPerOp()
+		report[mode.String()+"_appended_bytes"] = st.AppendedBytes
+		report[mode.String()+"_fsyncs"] = st.Fsyncs
+		report[mode.String()+"_snapshots"] = st.Snapshots
+		fmt.Printf("wal benchmark: sync=%s %d ns/op (%d appends, %d fsyncs, %d snapshots)\n",
+			mode, res.NsPerOp(), st.Appends, st.Fsyncs, st.Snapshots)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wal benchmark -> %s\n", path)
 	return nil
 }
 

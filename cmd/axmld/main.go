@@ -5,8 +5,18 @@
 //	POST /soap             SOAP operations with schema enforcement
 //	GET  /wsdl             the peer's WSDL_int description
 //	GET  /doc/{name}       repository documents
+//	PUT  /doc/{name}       store the request body as the named document
+//	DELETE /doc/{name}     remove the named document
 //	POST /exchange/{name}  Figure 1 data exchange: body = XML Schema_int,
 //	                       response = the document rewritten to conform
+//
+// With -data-dir the repository is durable: every mutation is framed into a
+// write-ahead log under that directory before it is acknowledged (-wal-sync
+// chooses the fsync discipline), the log is compacted into crash-safe
+// snapshots every -snapshot-every mutations, and boot runs crash recovery —
+// newest valid snapshot plus WAL tail, torn trailing records truncated. On
+// SIGINT/SIGTERM the daemon drains in-flight requests and writes a final
+// snapshot before exiting.
 //
 // Outbound service calls made by enforcement rewritings run through the
 // invocation policy chain configured by -call-timeout, -retries,
@@ -27,6 +37,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,7 +46,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"axml/internal/core"
@@ -47,6 +60,7 @@ import (
 	"axml/internal/service"
 	"axml/internal/soap"
 	"axml/internal/telemetry"
+	"axml/internal/wal"
 	"axml/internal/workload"
 	"axml/internal/xsdint"
 )
@@ -57,23 +71,67 @@ func main() {
 		fmt.Fprintln(os.Stderr, "axmld:", err)
 		os.Exit(2)
 	}
+	os.Exit(run(p, opts))
+}
+
+// run serves until the listener fails or a SIGINT/SIGTERM arrives, then
+// drains in-flight requests and — when the repository is durable — writes a
+// final snapshot, so a clean shutdown makes the next boot's recovery a pure
+// snapshot load with no WAL to replay.
+func run(p *peer.Peer, opts options) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var pprofSrv *http.Server
 	if opts.pprof != "" {
+		// The pprof listener deliberately uses http.DefaultServeMux, which
+		// net/http/pprof registers its handlers on; configure has already
+		// pinned the address to loopback.
+		pprofSrv = &http.Server{Addr: opts.pprof, Handler: http.DefaultServeMux}
 		go func() {
-			// The pprof listener deliberately uses http.DefaultServeMux, which
-			// net/http/pprof registers its handlers on; configure has already
-			// pinned the address to loopback.
 			log.Printf("pprof serving on %s", opts.pprof)
-			if err := http.ListenAndServe(opts.pprof, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof: %v", err)
 			}
 		}()
 	}
-	log.Printf("peer %q serving on %s (k=%d, mode=%s, telemetry=%v)",
-		p.Name, opts.addr, p.K, p.Mode, p.Telemetry != nil)
-	if err := http.ListenAndServe(opts.addr, p.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "axmld:", err)
-		os.Exit(1)
+	srv := &http.Server{Addr: opts.addr, Handler: p.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("peer %q serving on %s (k=%d, mode=%s, telemetry=%v, durable=%v)",
+			p.Name, opts.addr, p.K, p.Mode, p.Telemetry != nil, p.Durable != nil)
+		errc <- srv.ListenAndServe()
+	}()
+
+	exit := 0
+	select {
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		log.Printf("signal received, shutting down")
+		sd, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sd); err != nil {
+			log.Printf("shutdown: %v", err)
+			exit = 1
+		}
+		if pprofSrv != nil {
+			_ = pprofSrv.Shutdown(sd)
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "axmld:", err)
+			exit = 1
+		}
 	}
+	if p.Durable != nil {
+		if err := p.Durable.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "axmld: final snapshot:", err)
+			exit = 1
+		} else {
+			log.Printf("final snapshot written")
+		}
+	}
+	return exit
 }
 
 // options carries the daemon-level settings that are not part of the peer.
@@ -105,6 +163,10 @@ func configure(args []string) (*peer.Peer, options, error) {
 	parallel := fs.Int("parallel", 1, "parallel materialization degree for enforcement rewritings (1 = sequential)")
 	telemetryOn := fs.Bool("telemetry", true, "serve /metrics and /debug/traces and instrument the pipeline")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. :6060; empty disables)")
+	dataDir := fs.String("data-dir", "", "durable repository directory (WAL + snapshots); empty keeps documents in memory only")
+	walSync := fs.String("wal-sync", "always", "WAL fsync discipline: always | interval | none")
+	walSyncInterval := fs.Duration("wal-sync-interval", wal.DefaultSyncInterval, "background fsync period when -wal-sync=interval")
+	snapshotEvery := fs.Int("snapshot-every", 1024, "compact the WAL into a snapshot after this many mutations (0 = only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
 	}
@@ -138,6 +200,18 @@ func configure(args []string) (*peer.Peer, options, error) {
 	pprof, err := loopbackAddr(*pprofAddr)
 	if err != nil {
 		return nil, options{}, err
+	}
+	// Durability flags are validated even when -data-dir is off, so a bad
+	// value never lurks until the first durable deployment.
+	syncMode, err := wal.ParseSyncMode(*walSync)
+	if err != nil {
+		return nil, options{}, fmt.Errorf("-wal-sync: %w", err)
+	}
+	if *walSyncInterval <= 0 {
+		return nil, options{}, fmt.Errorf("-wal-sync-interval must be positive, got %v", *walSyncInterval)
+	}
+	if *snapshotEvery < 0 {
+		return nil, options{}, fmt.Errorf("-snapshot-every must not be negative, got %d", *snapshotEvery)
 	}
 	s, err := loadSchema(*schemaPath)
 	if err != nil {
@@ -173,6 +247,24 @@ func configure(args []string) (*peer.Peer, options, error) {
 		p.Telemetry = telemetry.NewRegistry()
 	}
 
+	if *dataDir != "" {
+		d, err := peer.OpenDurable(*dataDir, peer.DurableOptions{
+			Sync:          syncMode,
+			SyncInterval:  *walSyncInterval,
+			SnapshotEvery: *snapshotEvery,
+			Metrics:       wal.NewMetrics(p.Telemetry),
+		})
+		if err != nil {
+			return nil, options{}, err
+		}
+		p.Repo = d.Repository
+		p.Durable = d
+		st := d.Stats()
+		log.Printf("durable repository %s: recovered %d documents (replayed %d WAL records, truncated %d torn)",
+			*dataDir, st.RecoveredDocuments, st.RecoveryReplayed, st.RecoveryTruncated)
+	}
+	// Seeding happens after recovery, and LoadDir keeps existing documents:
+	// WAL-recovered state always wins over the -docs seed directory.
 	if *docsDir != "" {
 		if err := p.Repo.LoadDir(*docsDir); err != nil {
 			return nil, options{}, err

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"axml/internal/doc"
 )
 
 func writeSchema(t *testing.T) string {
@@ -43,6 +45,9 @@ func TestConfigureRejectsBadFlags(t *testing.T) {
 		{"pprof no port", []string{"-schema", sp, "-pprof", "6060"}, "-pprof"},
 		{"pprof public", []string{"-schema", sp, "-pprof", "0.0.0.0:6060"}, "loopback"},
 		{"pprof hostname", []string{"-schema", sp, "-pprof", "example.com:6060"}, "loopback"},
+		{"bad wal sync", []string{"-schema", sp, "-wal-sync", "sometimes"}, "-wal-sync"},
+		{"zero sync interval", []string{"-schema", sp, "-wal-sync-interval", "0s"}, "-wal-sync-interval must be positive"},
+		{"negative snapshot every", []string{"-schema", sp, "-snapshot-every", "-1"}, "-snapshot-every must not be negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +112,46 @@ func TestConfigurePprofLoopback(t *testing.T) {
 		if opts.pprof != tc.want {
 			t.Errorf("-pprof %s normalized to %q, want %q", tc.in, opts.pprof, tc.want)
 		}
+	}
+}
+
+// TestConfigureDurable boots a durable daemon twice over one data directory:
+// state put through the first peer must be recovered by the second, and a
+// -docs seed directory must not clobber what recovery restored.
+func TestConfigureDurable(t *testing.T) {
+	sp := writeSchema(t)
+	dataDir := filepath.Join(t.TempDir(), "state")
+	p, _, err := configure([]string{"-schema", sp, "-data-dir", dataDir, "-wal-sync", "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Durable == nil || p.Repo != p.Durable.Repository {
+		t.Fatal("-data-dir did not install the durable repository")
+	}
+	if err := p.Repo.Put("note", doc.Elem("note", doc.TextNode("recovered"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seed := t.TempDir()
+	for name, content := range map[string]string{"note.xml": "<note>seed</note>", "extra.xml": "<extra/>"} {
+		if err := os.WriteFile(filepath.Join(seed, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2, _, err := configure([]string{"-schema", sp, "-data-dir", dataDir, "-wal-sync", "none", "-docs", seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Durable.Close()
+	got, ok := p2.Repo.Get("note")
+	if !ok || got.Children[0].Value != "recovered" {
+		t.Errorf("recovered note = %v, %v; the seed must not clobber it", got, ok)
+	}
+	if _, ok := p2.Repo.Get("extra"); !ok {
+		t.Error("non-colliding seed document not loaded")
 	}
 }
 

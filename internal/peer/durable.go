@@ -1,0 +1,228 @@
+package peer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"axml/internal/doc"
+	"axml/internal/wal"
+	"axml/internal/xmlio"
+)
+
+// DurableRepository wraps a Repository with a write-ahead log and periodic
+// snapshot compaction so that the repository survives crashes and restarts:
+// every acknowledged Put/Update/Delete is framed into the WAL (under the
+// repository's write lock, so log order is apply order) before it commits,
+// and recovery at Open loads the newest valid snapshot, replays the WAL
+// tail, and truncates any torn final record.
+//
+// The embedded *Repository is the live repository: hand it to a Peer
+// (p.Repo = d.Repository) and every mutation path — HTTP PUT/DELETE on
+// /doc/{name}, Materialize, negotiation — becomes durable with no further
+// wiring.
+type DurableRepository struct {
+	*Repository
+
+	log       *wal.Log
+	snapEvery int
+	closed    atomic.Bool
+
+	// compactMu serializes Snapshot/Close; pending counts logged
+	// mutations since the last rotation.
+	compactMu sync.Mutex
+	pending   atomic.Int64
+
+	kick chan struct{} // nudges the background compactor (never closed)
+	stop chan struct{} // closed by Close to retire the compactor
+	done chan struct{} // closed when the compactor exits
+
+	// recovery facts, frozen at Open
+	recoveredDocs   int
+	replayedRecords int
+	truncatedTails  int
+}
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Sync is the WAL fsync discipline (default wal.SyncAlways).
+	Sync wal.SyncMode
+	// SyncInterval is the background fsync period for wal.SyncInterval.
+	SyncInterval time.Duration
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// logged mutations; 0 snapshots only on Close (and explicit Snapshot
+	// calls).
+	SnapshotEvery int
+	// Metrics, when non-nil, instruments the WAL (see wal.NewMetrics).
+	Metrics *wal.Metrics
+}
+
+// OpenDurable opens (or creates) the durable repository stored in dir,
+// running crash recovery first: state = newest valid snapshot + WAL tail,
+// with later records winning over both the snapshot and any torn garbage
+// dropped. The returned repository is empty only if the directory was.
+func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
+	log, state, err := wal.Open(dir, wal.Options{
+		Sync:         opts.Sync,
+		SyncInterval: opts.SyncInterval,
+		Metrics:      opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	repo := NewRepository()
+	for name, data := range state.Docs {
+		d, err := xmlio.ParseString(string(data))
+		if err != nil {
+			// Checksums passed, so this is not disk damage: the payload
+			// itself was never a valid document. Refuse to silently drop
+			// state.
+			log.Close()
+			return nil, fmt.Errorf("peer: recovering %q: %w", name, err)
+		}
+		if err := repo.Put(name, d); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("peer: recovering %q: %w", name, err)
+		}
+	}
+	d := &DurableRepository{
+		Repository:      repo,
+		log:             log,
+		snapEvery:       opts.SnapshotEvery,
+		recoveredDocs:   len(state.Docs),
+		replayedRecords: state.ReplayedRecords,
+		truncatedTails:  state.TruncatedRecords,
+	}
+	// Installed only after recovery: replayed documents are already on
+	// disk and must not be re-logged.
+	repo.journal = d.journalMutation
+	if d.snapEvery > 0 {
+		d.kick = make(chan struct{}, 1)
+		d.stop = make(chan struct{})
+		d.done = make(chan struct{})
+		go d.compactLoop()
+	}
+	return d, nil
+}
+
+// journalMutation runs under the repository write lock: it frames the
+// mutation into the WAL and, with SyncAlways, fsyncs before the mutation is
+// acknowledged. d == nil encodes a delete.
+func (r *DurableRepository) journalMutation(name string, n *doc.Node) error {
+	if r.closed.Load() {
+		return fmt.Errorf("peer: durable repository is closed")
+	}
+	op, data := wal.OpDelete, []byte(nil)
+	if n != nil {
+		s, err := xmlio.String(n)
+		if err != nil {
+			return fmt.Errorf("peer: journaling %q: %w", name, err)
+		}
+		op, data = wal.OpPut, []byte(s)
+	}
+	if err := r.log.Append(op, name, data); err != nil {
+		return fmt.Errorf("peer: journaling %q: %w", name, err)
+	}
+	if r.snapEvery > 0 && r.pending.Add(1) >= int64(r.snapEvery) {
+		select {
+		case r.kick <- struct{}{}:
+		default: // a compaction is already pending
+		}
+	}
+	return nil
+}
+
+// compactLoop runs automatic compactions off the mutation path.
+func (r *DurableRepository) compactLoop() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+			if r.pending.Load() < int64(r.snapEvery) {
+				continue // already compacted by an explicit Snapshot call
+			}
+			// Best-effort: a failed compaction leaves the WAL growing
+			// but intact; the next threshold crossing (or Close)
+			// retries.
+			_ = r.Snapshot()
+		}
+	}
+}
+
+// Snapshot compacts the log now: it rotates the WAL to a fresh generation,
+// captures the repository state at the rotation point, writes it as an
+// atomic snapshot, and prunes superseded files. Safe to call concurrently
+// with mutations; concurrent Snapshot calls are serialized.
+func (r *DurableRepository) Snapshot() error {
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+	repo := r.Repository
+
+	// Rotation and state capture must be atomic with respect to
+	// mutations: a mutation logged to the old generation is in the
+	// capture; one logged to the new generation is replayed over the
+	// snapshot. Stored nodes are immutable once acknowledged, so a
+	// shallow copy of the map is a consistent capture.
+	repo.mu.Lock()
+	seq, err := r.log.Rotate()
+	if err != nil {
+		repo.mu.Unlock()
+		return err
+	}
+	capture := make(map[string]*doc.Node, len(repo.docs))
+	for name, d := range repo.docs {
+		capture[name] = d
+	}
+	r.pending.Store(0)
+	repo.mu.Unlock()
+
+	enc := make(map[string][]byte, len(capture))
+	for name, d := range capture {
+		s, err := xmlio.String(d)
+		if err != nil {
+			return fmt.Errorf("peer: snapshotting %q: %w", name, err)
+		}
+		enc[name] = []byte(s)
+	}
+	return r.log.WriteSnapshot(seq, enc)
+}
+
+// Close writes a final snapshot and closes the WAL. Mutations attempted
+// after Close fail; Close is idempotent.
+func (r *DurableRepository) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	if r.stop != nil {
+		close(r.stop)
+		<-r.done
+	}
+	// The final snapshot makes the next boot's recovery a pure snapshot
+	// load. journalMutation now rejects new mutations, so the capture is
+	// the final state.
+	serr := r.Snapshot()
+	cerr := r.log.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// DurabilityStats is the /stats (and logging) view of the durability layer.
+type DurabilityStats struct {
+	wal.Stats
+	RecoveredDocuments int `json:"recovered_documents"`
+	SnapshotEvery      int `json:"snapshot_every"`
+}
+
+// Stats reports WAL counters plus recovery facts.
+func (r *DurableRepository) Stats() DurabilityStats {
+	return DurabilityStats{
+		Stats:              r.log.Stats(),
+		RecoveredDocuments: r.recoveredDocs,
+		SnapshotEvery:      r.snapEvery,
+	}
+}

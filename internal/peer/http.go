@@ -20,6 +20,8 @@ import (
 //	                         schema enforcement on parameters and results
 //	GET  /wsdl             — the peer's WSDL_int description
 //	GET  /doc/{name}       — a repository document, as stored (intensional)
+//	PUT  /doc/{name}       — store the request body as the named document
+//	DELETE /doc/{name}     — remove the named document (idempotent)
 //	POST /exchange/{name}  — the Figure 1 scenario: the request body is an
 //	                         XML Schema_int exchange schema; the response is
 //	                         the document rewritten to conform to it.
@@ -66,19 +68,54 @@ func (p *Peer) handleWSDL(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDoc serves GET (the stored intensional document), and — so that a
+// durable daemon can be driven entirely over HTTP — PUT (store the request
+// body as the named document) and DELETE. With a durability layer installed
+// a 2xx answer means the mutation is journaled: a WAL append failure surfaces
+// as 500 and the repository is unchanged.
 func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
 	name := strings.TrimPrefix(r.URL.Path, "/doc/")
-	d, ok := p.Repo.Get(name)
-	if !ok {
-		http.Error(w, fmt.Sprintf("no document %q", name), http.StatusNotFound)
-		return
+	switch r.Method {
+	case http.MethodGet:
+		d, ok := p.Repo.Get(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no document %q", name), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		_ = xmlio.Write(w, d)
+	case http.MethodPut:
+		if err := ValidateDocName(name); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit := p.MaxRequestBytes
+		if limit == 0 {
+			limit = soap.DefaultMaxRequestBytes
+		}
+		body := r.Body
+		if limit > 0 {
+			body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		d, err := xmlio.Parse(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := p.Repo.Put(name, d); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if err := p.Repo.Delete(name); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "GET, PUT or DELETE only", http.StatusMethodNotAllowed)
 	}
-	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	_ = xmlio.Write(w, d)
 }
 
 func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
@@ -139,8 +176,7 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		compiled = registryCacheStats(reg, "axml_compile_cache", compiled)
 		words = registryCacheStats(reg, "axml_word_cache", words)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	stats := map[string]any{
 		"peer":          p.Name,
 		"documents":     p.Repo.Len(),
 		"compile_cache": compiled,
@@ -148,7 +184,12 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"invocations":   p.Audit.Len(),
 		"parallelism":   max(p.Parallelism, 1),
 		"telemetry":     p.Telemetry != nil,
-	})
+	}
+	if p.Durable != nil {
+		stats["wal"] = p.Durable.Stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(stats)
 }
 
 // registryCacheStats reassembles a CacheStats from the four scrape-time

@@ -63,6 +63,11 @@ type Peer struct {
 	// handler metrics plus the /metrics and /debug/traces endpoints. Set
 	// before the peer serves traffic.
 	Telemetry *telemetry.Registry
+	// Durable, if set, is the durability layer behind Repo (Repo ==
+	// Durable.Repository): Handler then accepts PUT/DELETE on /doc/{name}
+	// and /stats reports WAL counters. The daemon closes it on shutdown for
+	// a final snapshot. Nil keeps the repository purely in-memory.
+	Durable *DurableRepository
 
 	invOnce sync.Once
 	inv     core.Invoker
@@ -164,8 +169,9 @@ func (p *Peer) Materialize(name string, mode core.Mode) error {
 // MaterializeContext is Materialize under a context.
 func (p *Peer) MaterializeContext(ctx context.Context, name string, mode core.Mode) error {
 	return p.Repo.Update(name, func(d *doc.Node) (*doc.Node, error) {
+		// Update hands fn a clone, so the rewriter may consume d in place.
 		rw := p.rewriter(p.Schema)
-		return rw.RewriteDocumentContext(ctx, d.Clone(), mode)
+		return rw.RewriteDocumentContext(ctx, d, mode)
 	})
 }
 

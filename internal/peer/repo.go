@@ -15,15 +15,24 @@ import (
 	"sync"
 
 	"axml/internal/doc"
+	"axml/internal/wal"
 	"axml/internal/xmlio"
 )
 
 // Repository stores named intensional documents. It is safe for concurrent
 // use; documents are cloned on the way in and out so that callers can never
-// mutate stored state behind the lock.
+// mutate stored state behind the lock — stored nodes are immutable once the
+// mutating call returns, which is what lets DurableRepository snapshot the
+// map with a shallow copy.
 type Repository struct {
 	mu   sync.RWMutex
 	docs map[string]*doc.Node
+	// journal, when set, observes every mutation under the write lock,
+	// before it commits: a journal error aborts the mutation, so an
+	// acknowledged mutation is exactly a logged one. d is the node the
+	// repository is about to own (nil for deletes); the journal must not
+	// retain or mutate it. Installed by DurableRepository.
+	journal func(name string, d *doc.Node) error
 }
 
 // NewRepository returns an empty repository.
@@ -55,7 +64,13 @@ func (r *Repository) Put(name string, d *doc.Node) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.docs[name] = d.Clone()
+	c := d.Clone()
+	if r.journal != nil {
+		if err := r.journal(name, c); err != nil {
+			return err
+		}
+	}
+	r.docs[name] = c
 	return nil
 }
 
@@ -70,8 +85,13 @@ func (r *Repository) Get(name string) (*doc.Node, bool) {
 	return d.Clone(), true
 }
 
-// Update applies fn to the stored document under the write lock; fn may
-// return a replacement (or the mutated original).
+// Update applies fn to a clone of the stored document under the write lock;
+// fn may return a replacement (or the mutated clone). The returned node is
+// owned by the repository from that point on: fn must not retain a
+// reference to either its argument or its return value, and mutating one
+// after Update returns is a contract violation. The clone on the way in is
+// what makes retaining the *argument* harmless — it can never alias stored
+// state.
 func (r *Repository) Update(name string, fn func(*doc.Node) (*doc.Node, error)) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -79,19 +99,35 @@ func (r *Repository) Update(name string, fn func(*doc.Node) (*doc.Node, error)) 
 	if !ok {
 		return fmt.Errorf("peer: no document %q", name)
 	}
-	next, err := fn(d)
+	next, err := fn(d.Clone())
 	if err != nil {
 		return err
+	}
+	if r.journal != nil {
+		if err := r.journal(name, next); err != nil {
+			return err
+		}
 	}
 	r.docs[name] = next
 	return nil
 }
 
-// Delete removes a document.
-func (r *Repository) Delete(name string) {
+// Delete removes a document. Deleting an absent name is a no-op. The error
+// is always nil for a plain repository; with a durability journal installed
+// it reports a failed WAL append, in which case the document is retained.
+func (r *Repository) Delete(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if _, ok := r.docs[name]; !ok {
+		return nil
+	}
+	if r.journal != nil {
+		if err := r.journal(name, nil); err != nil {
+			return err
+		}
+	}
 	delete(r.docs, name)
+	return nil
 }
 
 // Names lists stored document names, sorted.
@@ -113,7 +149,13 @@ func (r *Repository) Len() int {
 	return len(r.docs)
 }
 
-// SaveDir persists every document as <name>.xml in dir (created if needed).
+// SaveDir persists every document as <name>.xml in dir (created if needed)
+// and reconciles the directory against the repository: each file is written
+// atomically (temp file, fsync, rename — a crash mid-save never leaves a
+// truncated .xml to poison the next LoadDir), and managed files whose
+// document no longer exists are removed, so deleted documents do not
+// resurrect on the next load. SaveDir owns dir: any *.xml file whose base
+// name is a valid document name is considered managed.
 func (r *Repository) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("peer: %w", err)
@@ -128,35 +170,127 @@ func (r *Repository) SaveDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("peer: serializing %q: %w", name, err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, name+".xml"), []byte(s), 0o644); err != nil {
+		if err := wal.WriteFileAtomic(filepath.Join(dir, name+".xml"), []byte(s), 0o644); err != nil {
 			return fmt.Errorf("peer: %w", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("peer: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		// Crashed atomic writes leave temp files; they are never loadable
+		// and safe to drop.
+		if strings.HasPrefix(e.Name(), wal.TempPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		base, isXML := strings.CutSuffix(e.Name(), ".xml")
+		if !isXML || ValidateDocName(base) != nil {
+			continue // not a file SaveDir could have written
+		}
+		if _, ok := r.docs[base]; !ok {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("peer: reconciling %s: %w", e.Name(), err)
+			}
 		}
 	}
 	return nil
 }
 
+// ConflictPolicy decides what LoadDir does when a file's name collides with
+// a document already in memory.
+type ConflictPolicy int
+
+const (
+	// KeepExisting keeps the in-memory document and skips the file — the
+	// safe default: recovered (WAL-replayed) state must not be clobbered
+	// by a seed directory.
+	KeepExisting ConflictPolicy = iota
+	// Overwrite replaces the in-memory document with the file's.
+	Overwrite
+	// FailOnConflict reports the first collision as an error.
+	FailOnConflict
+)
+
+func (p ConflictPolicy) String() string {
+	switch p {
+	case KeepExisting:
+		return "keep-existing"
+	case Overwrite:
+		return "overwrite"
+	case FailOnConflict:
+		return "fail"
+	default:
+		return fmt.Sprintf("ConflictPolicy(%d)", int(p))
+	}
+}
+
 // LoadDir loads every *.xml file of dir into the repository, keyed by file
-// base name.
+// base name, keeping existing in-memory documents on name collision
+// (KeepExisting). Use LoadDirWith to choose another policy.
 func (r *Repository) LoadDir(dir string) error {
+	_, err := r.LoadDirWith(dir, KeepExisting)
+	return err
+}
+
+// LoadDirWith is LoadDir under an explicit conflict policy; it reports how
+// many documents were actually stored (files skipped by KeepExisting do not
+// count).
+func (r *Repository) LoadDirWith(dir string, policy ConflictPolicy) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("peer: %w", err)
+		return 0, fmt.Errorf("peer: %w", err)
 	}
+	loaded := 0
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return fmt.Errorf("peer: %w", err)
+			return loaded, fmt.Errorf("peer: %w", err)
 		}
 		d, err := xmlio.ParseString(string(data))
 		if err != nil {
-			return fmt.Errorf("peer: parsing %s: %w", e.Name(), err)
+			return loaded, fmt.Errorf("peer: parsing %s: %w", e.Name(), err)
 		}
-		if err := r.Put(strings.TrimSuffix(e.Name(), ".xml"), d); err != nil {
-			return err
+		stored, err := r.putWith(strings.TrimSuffix(e.Name(), ".xml"), d, policy)
+		if err != nil {
+			return loaded, err
+		}
+		if stored {
+			loaded++
 		}
 	}
-	return nil
+	return loaded, nil
+}
+
+// putWith is Put under a conflict policy, atomic with respect to the
+// collision check.
+func (r *Repository) putWith(name string, d *doc.Node, policy ConflictPolicy) (bool, error) {
+	if err := ValidateDocName(name); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.docs[name]; exists {
+		switch policy {
+		case KeepExisting:
+			return false, nil
+		case FailOnConflict:
+			return false, fmt.Errorf("peer: document %q already exists", name)
+		}
+	}
+	c := d.Clone()
+	if r.journal != nil {
+		if err := r.journal(name, c); err != nil {
+			return false, err
+		}
+	}
+	r.docs[name] = c
+	return true, nil
 }

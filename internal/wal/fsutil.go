@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TempPrefix marks in-progress atomic writes. Crashed leftovers carrying it
+// may be deleted by any owner of the directory (recovery and SaveDir
+// reconciliation both do).
+const TempPrefix = ".axml-tmp-"
+
+// WriteFileAtomic replaces path with data such that a crash at any point
+// leaves either the old file or the new one, never a truncated mix: the
+// data is written to a temp file in the same directory, fsynced, renamed
+// over path, and the directory is fsynced so the rename itself is durable.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, TempPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so entry creations, renames and removals in it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: %w", cerr)
+	}
+	return nil
+}

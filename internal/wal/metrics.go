@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"time"
+
+	"axml/internal/telemetry"
+)
+
+// Metrics bundles the WAL's telemetry series. All fields are registered
+// eagerly so the series appear on /metrics from boot (at zero); a nil
+// *Metrics no-ops, keeping uninstrumented logs free of telemetry branches.
+//
+// Series (see DESIGN.md §9 for the catalogue):
+//
+//	axml_wal_append_seconds                    histogram  append latency (incl. SyncAlways fsync)
+//	axml_wal_append_bytes                      histogram  framed record sizes
+//	axml_wal_appends_total                     counter    records appended
+//	axml_wal_fsync_seconds                     histogram  fsync latency (append-path and background)
+//	axml_wal_snapshot_seconds                  histogram  snapshot serialize+write duration
+//	axml_wal_snapshot_bytes                    histogram  snapshot file sizes
+//	axml_wal_snapshots_total                   counter    snapshots written
+//	axml_wal_recovery_replayed_records_total   counter    records replayed at boot
+//	axml_wal_recovery_truncated_records_total  counter    torn tails dropped at boot
+type Metrics struct {
+	appendSeconds     *telemetry.Histogram
+	appendBytes       *telemetry.Histogram
+	appendsTotal      *telemetry.Counter
+	fsyncSeconds      *telemetry.Histogram
+	snapshotSeconds   *telemetry.Histogram
+	snapshotBytes     *telemetry.Histogram
+	snapshotsTotal    *telemetry.Counter
+	recoveryReplayed  *telemetry.Counter
+	recoveryTruncated *telemetry.Counter
+}
+
+// NewMetrics registers the WAL series against reg; nil in, nil out.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		appendSeconds:     reg.Histogram("axml_wal_append_seconds", nil),
+		appendBytes:       reg.Histogram("axml_wal_append_bytes", telemetry.SizeBuckets),
+		appendsTotal:      reg.Counter("axml_wal_appends_total"),
+		fsyncSeconds:      reg.Histogram("axml_wal_fsync_seconds", nil),
+		snapshotSeconds:   reg.Histogram("axml_wal_snapshot_seconds", nil),
+		snapshotBytes:     reg.Histogram("axml_wal_snapshot_bytes", telemetry.SizeBuckets),
+		snapshotsTotal:    reg.Counter("axml_wal_snapshots_total"),
+		recoveryReplayed:  reg.Counter("axml_wal_recovery_replayed_records_total"),
+		recoveryTruncated: reg.Counter("axml_wal_recovery_truncated_records_total"),
+	}
+}
+
+func (m *Metrics) observeAppend(d time.Duration, bytes int) {
+	if m == nil {
+		return
+	}
+	m.appendSeconds.Observe(d.Seconds())
+	m.appendBytes.Observe(float64(bytes))
+	m.appendsTotal.Inc()
+}
+
+func (m *Metrics) observeFsync(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fsyncSeconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) observeSnapshot(d time.Duration, bytes int) {
+	if m == nil {
+		return
+	}
+	m.snapshotSeconds.Observe(d.Seconds())
+	m.snapshotBytes.Observe(float64(bytes))
+	m.snapshotsTotal.Inc()
+}
+
+func (m *Metrics) observeRecovery(state *RecoveredState) {
+	if m == nil {
+		return
+	}
+	m.recoveryReplayed.Add(uint64(state.ReplayedRecords))
+	m.recoveryTruncated.Add(uint64(state.TruncatedRecords))
+}

@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"axml/internal/telemetry"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *RecoveredState) {
+	t.Helper()
+	l, state, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, state
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, state := mustOpen(t, dir, Options{})
+	if len(state.Docs) != 0 || state.SnapshotSeq != 0 {
+		t.Fatalf("fresh dir recovered non-empty state: %+v", state)
+	}
+	ops := []struct {
+		op   Op
+		name string
+		data string
+	}{
+		{OpPut, "a", "<a/>"},
+		{OpPut, "b", "<b>text</b>"},
+		{OpPut, "a", "<a>v2</a>"}, // overwrite
+		{OpDelete, "b", ""},
+		{OpPut, "empty", ""},
+	}
+	for _, o := range ops {
+		var data []byte
+		if o.op == OpPut {
+			data = []byte(o.data)
+		}
+		if err := l.Append(o.op, o.name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, state2 := mustOpen(t, dir, Options{})
+	if state2.ReplayedRecords != len(ops) {
+		t.Errorf("replayed %d records, want %d", state2.ReplayedRecords, len(ops))
+	}
+	if state2.TruncatedRecords != 0 {
+		t.Errorf("truncated %d records, want 0", state2.TruncatedRecords)
+	}
+	want := map[string]string{"a": "<a>v2</a>", "empty": ""}
+	if len(state2.Docs) != len(want) {
+		t.Fatalf("recovered docs %v, want keys %v", state2.Docs, want)
+	}
+	for k, v := range want {
+		if got, ok := state2.Docs[k]; !ok || string(got) != v {
+			t.Errorf("doc %q = %q (present=%v), want %q", k, got, ok, v)
+		}
+	}
+	if _, resurrected := state2.Docs["b"]; resurrected {
+		t.Error("deleted document resurrected by replay")
+	}
+}
+
+// TestTornFinalRecord is the heart of crash recovery: a record cut short at
+// every possible byte boundary must be dropped — and physically truncated —
+// while every record before it survives.
+func TestTornFinalRecord(t *testing.T) {
+	// Build a reference log: 3 good records.
+	ref := t.TempDir()
+	l, _ := mustOpen(t, ref, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(OpPut, fmt.Sprintf("d%d", i), []byte(fmt.Sprintf("<d>%d</d>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	full, err := os.ReadFile(filepath.Join(ref, walName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, twoLen, _, err := scanFile(filepath.Join(ref, walName(0)))
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("reference scan: %d recs, %v", len(recs), err)
+	}
+	// Offset where the third record begins: scan the first two.
+	var secondEnd int64
+	{
+		tmp := filepath.Join(t.TempDir(), "two.log")
+		// find boundary by scanning truncations until exactly 2 records parse
+		for cut := int64(len(full)); cut >= 0; cut-- {
+			os.WriteFile(tmp, full[:cut], 0o644)
+			r, glen, _, _ := scanFile(tmp)
+			if len(r) == 2 {
+				secondEnd = glen
+				break
+			}
+		}
+	}
+	_ = twoLen
+	if secondEnd == 0 {
+		t.Fatal("could not locate record boundary")
+	}
+
+	for cut := secondEnd + 1; cut < int64(len(full)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, state := mustOpen(t, dir, Options{})
+		if state.ReplayedRecords != 2 || state.TruncatedRecords != 1 {
+			t.Fatalf("cut %d: replayed=%d truncated=%d, want 2/1", cut, state.ReplayedRecords, state.TruncatedRecords)
+		}
+		if _, ok := state.Docs["d2"]; ok {
+			t.Fatalf("cut %d: torn record observed", cut)
+		}
+		// The torn tail must be physically gone so new appends are readable.
+		if err := l.Append(OpPut, "fresh", []byte("<f/>")); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		_, state2 := mustOpen(t, dir, Options{})
+		if _, ok := state2.Docs["fresh"]; !ok || len(state2.Docs) != 3 {
+			t.Fatalf("cut %d: append after truncation not recovered: %v", cut, state2.Docs)
+		}
+	}
+}
+
+// A corrupted byte mid-record (bit rot, not a torn tail) invalidates that
+// record and everything after it, but the prefix stays.
+func TestCorruptMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(OpPut, fmt.Sprintf("d%d", i), []byte("<x/>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, walName(0))
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	_, state := mustOpen(t, dir, Options{})
+	if state.ReplayedRecords >= 3 || state.TruncatedRecords != 1 {
+		t.Errorf("replayed=%d truncated=%d after mid-file corruption", state.ReplayedRecords, state.TruncatedRecords)
+	}
+	if _, ok := state.Docs["d0"]; !ok {
+		t.Error("intact prefix record lost")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	l.Close()
+	if err := l.Append(OpPut, "x", nil); err != ErrClosed {
+		t.Errorf("append after close: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Errorf("sync after close: %v, want ErrClosed", err)
+	}
+	if _, err := l.Rotate(); err != ErrClosed {
+		t.Errorf("rotate after close: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestOversizeNameRejected(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	if err := l.Append(OpPut, strings.Repeat("n", maxNameBytes+1), nil); err == nil {
+		t.Error("oversize name accepted")
+	}
+}
+
+func TestSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := mustOpen(t, dir, Options{Sync: mode, SyncInterval: 5 * time.Millisecond})
+			for i := 0; i < 10; i++ {
+				if err := l.Append(OpPut, "d", []byte("<d/>")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if mode == SyncInterval {
+				// Give the background syncer a chance to run.
+				time.Sleep(20 * time.Millisecond)
+				if l.Stats().Fsyncs == 0 {
+					t.Error("interval mode never fsynced")
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, state := mustOpen(t, dir, Options{})
+			if state.ReplayedRecords != 10 {
+				t.Errorf("mode %s: replayed %d, want 10", mode, state.ReplayedRecords)
+			}
+		})
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for in, want := range map[string]SyncMode{"always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("yolo"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestStatsAndMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Metrics: NewMetrics(reg)})
+	payload := []byte("<doc>hello</doc>")
+	for i := 0; i < 5; i++ {
+		if err := l.Append(OpPut, "d", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 5 || st.AppendedBytes == 0 || st.Generation != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SyncMode != "always" {
+		t.Errorf("sync mode = %q", st.SyncMode)
+	}
+	if v, ok := reg.Value("axml_wal_appends_total"); !ok || v != 5 {
+		t.Errorf("axml_wal_appends_total = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("axml_wal_append_seconds"); !ok || v != 5 {
+		t.Errorf("append histogram count = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("axml_wal_fsync_seconds"); !ok || v != 5 {
+		t.Errorf("fsync histogram count = %v, %v (SyncAlways must fsync per append)", v, ok)
+	}
+	l.Close()
+
+	// Recovery counters land in a fresh registry on reopen.
+	reg2 := telemetry.NewRegistry()
+	l2, state := mustOpen(t, dir, Options{Metrics: NewMetrics(reg2)})
+	if state.ReplayedRecords != 5 {
+		t.Fatalf("replayed %d", state.ReplayedRecords)
+	}
+	if v, _ := reg2.Value("axml_wal_recovery_replayed_records_total"); v != 5 {
+		t.Errorf("recovery replayed metric = %v", v)
+	}
+	if st := l2.Stats(); st.RecoveryReplayed != 5 || st.RecoveryTruncated != 0 {
+		t.Errorf("recovered stats = %+v", st)
+	}
+
+	// A nil *Metrics must be a no-op on every path.
+	var m *Metrics
+	m.observeAppend(time.Second, 1)
+	m.observeFsync(time.Second)
+	m.observeSnapshot(time.Second, 1)
+	m.observeRecovery(&RecoveredState{})
+	if NewMetrics(nil) != nil {
+		t.Error("NewMetrics(nil) should be nil")
+	}
+}
+
+func TestFrameEncodeDecode(t *testing.T) {
+	cases := []Record{
+		{OpPut, "name", []byte("<x/>")},
+		{OpPut, "", []byte("rootless")},
+		{OpPut, "no-data", nil},
+		{OpDelete, "gone", nil},
+		{OpPut, "binary", []byte{0, 1, 2, 0xff}},
+	}
+	var buf []byte
+	for _, rec := range cases {
+		buf = appendFrame(buf, rec.Op, rec.Name, rec.Data)
+	}
+	path := filepath.Join(t.TempDir(), "frames.log")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, goodLen, torn, err := scanFile(path)
+	if err != nil || torn || int(goodLen) != len(buf) {
+		t.Fatalf("scan: torn=%v goodLen=%d err=%v", torn, goodLen, err)
+	}
+	if len(recs) != len(cases) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(cases))
+	}
+	for i, rec := range recs {
+		want := cases[i]
+		if rec.Op != want.Op || rec.Name != want.Name || !bytes.Equal(rec.Data, want.Data) {
+			t.Errorf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbagePayloads(t *testing.T) {
+	bad := [][]byte{
+		{},              // empty
+		{9, 0, 0},       // unknown op
+		{1, 10, 0, 'a'}, // name length beyond payload
+	}
+	for i, p := range bad {
+		if _, ok := decodePayload(p); ok {
+			t.Errorf("payload %d accepted: %v", i, p)
+		}
+	}
+}

@@ -95,7 +95,7 @@ func run(p *peer.Peer, opts options) int {
 			}
 		}()
 	}
-	srv := &http.Server{Addr: opts.addr, Handler: p.Handler()}
+	srv := newHTTPServer(p.Handler(), opts)
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("peer %q serving on %s (k=%d, mode=%s, telemetry=%v, durable=%v)",
@@ -134,10 +134,41 @@ func run(p *peer.Peer, opts options) int {
 	return exit
 }
 
+// Default server-side timeouts. They bound how long a single connection can
+// hold a goroutine while making no progress; 0 via the corresponding flag
+// disables the respective limit.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultReadTimeout       = 30 * time.Second
+	defaultWriteTimeout      = 60 * time.Second
+	defaultIdleTimeout       = 120 * time.Second
+)
+
+// newHTTPServer builds the daemon's listener. Server-side timeouts protect
+// it from slow or stalled clients: a connection that trickles its headers or
+// never drains a response cannot pin a handler goroutine (and, under
+// -data-dir, a WAL lock) forever. Graceful shutdown is unaffected — Shutdown
+// still drains in-flight requests that progress within their windows.
+func newHTTPServer(h http.Handler, opts options) *http.Server {
+	return &http.Server{
+		Addr:              opts.addr,
+		Handler:           h,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		ReadTimeout:       opts.readTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+}
+
 // options carries the daemon-level settings that are not part of the peer.
 type options struct {
 	addr  string
 	pprof string // "" = pprof disabled; otherwise a loopback host:port
+
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
 }
 
 // configure parses flags and builds the peer; split from main so tests can
@@ -161,6 +192,10 @@ func configure(args []string) (*peer.Peer, options, error) {
 	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures opening a per-endpoint circuit breaker (0 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", invoke.DefaultBreakerCooldown, "how long an open breaker rejects calls before probing")
 	parallel := fs.Int("parallel", 1, "parallel materialization degree for enforcement rewritings (1 = sequential)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", defaultReadHeaderTimeout, "max time to read a request's headers (0 disables)")
+	readTimeout := fs.Duration("read-timeout", defaultReadTimeout, "max time to read an entire request including the body (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", defaultWriteTimeout, "max time to write a response (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", defaultIdleTimeout, "max keep-alive idle time between requests (0 disables)")
 	telemetryOn := fs.Bool("telemetry", true, "serve /metrics and /debug/traces and instrument the pipeline")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. :6060; empty disables)")
 	dataDir := fs.String("data-dir", "", "durable repository directory (WAL + snapshots); empty keeps documents in memory only")
@@ -196,6 +231,19 @@ func configure(args []string) (*peer.Peer, options, error) {
 	}
 	if *parallel < 1 {
 		return nil, options{}, fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
+	}
+	for _, d := range []struct {
+		flag  string
+		value time.Duration
+	}{
+		{"-read-header-timeout", *readHeaderTimeout},
+		{"-read-timeout", *readTimeout},
+		{"-write-timeout", *writeTimeout},
+		{"-idle-timeout", *idleTimeout},
+	} {
+		if d.value < 0 {
+			return nil, options{}, fmt.Errorf("%s must not be negative, got %v", d.flag, d.value)
+		}
 	}
 	pprof, err := loopbackAddr(*pprofAddr)
 	if err != nil {
@@ -289,7 +337,14 @@ func configure(args []string) (*peer.Peer, options, error) {
 		}
 		log.Printf("registered %d simulated operations", len(s.Funcs))
 	}
-	return p, options{addr: *addr, pprof: pprof}, nil
+	return p, options{
+		addr:              *addr,
+		pprof:             pprof,
+		readHeaderTimeout: *readHeaderTimeout,
+		readTimeout:       *readTimeout,
+		writeTimeout:      *writeTimeout,
+		idleTimeout:       *idleTimeout,
+	}, nil
 }
 
 // loopbackAddr validates a -pprof address: an empty host binds 127.0.0.1,

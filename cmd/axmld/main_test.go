@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"axml/internal/doc"
 )
@@ -162,5 +166,60 @@ func TestConfigurePolicyFlagsOff(t *testing.T) {
 	}
 	if len(p.Policies) != 0 {
 		t.Errorf("default policies = %d, want 0", len(p.Policies))
+	}
+}
+
+func TestConfigureServerTimeouts(t *testing.T) {
+	sp := writeSchema(t)
+	_, opts, err := configure([]string{"-schema", sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.readHeaderTimeout != defaultReadHeaderTimeout || opts.readTimeout != defaultReadTimeout ||
+		opts.writeTimeout != defaultWriteTimeout || opts.idleTimeout != defaultIdleTimeout {
+		t.Errorf("default timeouts = %v/%v/%v/%v", opts.readHeaderTimeout, opts.readTimeout, opts.writeTimeout, opts.idleTimeout)
+	}
+	_, opts, err = configure([]string{"-schema", sp,
+		"-read-header-timeout", "1s", "-read-timeout", "0", "-write-timeout", "3s", "-idle-timeout", "4s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.readHeaderTimeout != time.Second || opts.readTimeout != 0 ||
+		opts.writeTimeout != 3*time.Second || opts.idleTimeout != 4*time.Second {
+		t.Errorf("explicit timeouts = %v/%v/%v/%v", opts.readHeaderTimeout, opts.readTimeout, opts.writeTimeout, opts.idleTimeout)
+	}
+	for _, flag := range []string{"-read-header-timeout", "-read-timeout", "-write-timeout", "-idle-timeout"} {
+		if _, _, err := configure([]string{"-schema", sp, flag, "-1s"}); err == nil ||
+			!strings.Contains(err.Error(), flag+" must not be negative") {
+			t.Errorf("%s -1s: error = %v", flag, err)
+		}
+	}
+}
+
+// TestServerDropsStalledClient proves the configured timeouts actually tear
+// down a connection that sends nothing: before this fix axmld used a zero
+// http.Server and a stalled client held its goroutine forever.
+func TestServerDropsStalledClient(t *testing.T) {
+	srv := newHTTPServer(http.NewServeMux(), options{readHeaderTimeout: 150 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Open the request line, then stall mid-headers.
+	if _, err := conn.Write([]byte("GET /wsdl HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled connection not closed by the server: read err = %v", err)
 	}
 }

@@ -97,14 +97,20 @@ func NewCompiledCache(capacity int) *CompiledCache {
 }
 
 // PairKey computes the cache identity of a (sender, target) schema pair. The
-// symbol table's identity namespaces the key: fingerprints are table-relative
-// (they embed interned symbol ids), so pairs from different tables must never
-// collide even inside one shared cache.
+// symbol namespace namespaces the key: fingerprints are table-relative (they
+// embed interned symbol ids), so pairs from different namespaces must never
+// collide even inside one shared cache. For a target parsed into a
+// request-scoped table overlay (the /exchange path), the namespace is the
+// root table's identity plus the overlay's extension key — two overlays that
+// assigned the same symbols to the same names share cache entries, while any
+// divergence in base or interning order keys separately instead of serving a
+// stale analysis.
 func PairKey(sender, target *schema.Schema) string {
 	if sender == nil {
 		sender = target
 	}
-	return fmt.Sprintf("%p\x00%s\x00%s", target.Table, sender.Fingerprint(), target.Fingerprint())
+	t := target.Table
+	return fmt.Sprintf("%p\x00%s\x00%s\x00%s", t.Root(), t.ExtensionKey(), sender.Fingerprint(), target.Fingerprint())
 }
 
 // Get returns the compiled analysis for the schema pair, compiling it at

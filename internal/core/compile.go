@@ -95,17 +95,25 @@ type FuncInfo struct {
 }
 
 // Compile analyzes the schema pair. Both schemas must share one symbol
-// table; Compile panics otherwise, since silently mixing two tables would
-// corrupt every automaton built downstream.
+// namespace: either literally one table, or one schema's table an overlay of
+// the other's (the /exchange endpoint parses untrusted schemas into a
+// request-scoped overlay of the peer table). Compile panics otherwise, since
+// silently mixing two tables would corrupt every automaton built downstream.
 func Compile(sender, target *schema.Schema) *Compiled {
 	if sender == nil {
 		sender = target
 	}
-	if sender.Table != target.Table {
-		panic("core: sender and target schemas must share one symbol table")
+	// The compiled analysis interns through the *extending* table so every
+	// symbol of both schemas resolves.
+	table := target.Table
+	if !table.Extends(sender.Table) {
+		if !sender.Table.Extends(target.Table) {
+			panic("core: sender and target schemas must share one symbol table")
+		}
+		table = sender.Table
 	}
 	c := &Compiled{
-		Table:    target.Table,
+		Table:    table,
 		Sender:   sender,
 		Target:   target,
 		funcs:    make(map[regex.Symbol]*FuncInfo),

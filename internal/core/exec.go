@@ -219,7 +219,7 @@ func (ex *executor) forest(forest []*doc.Node, typ *regex.Regex, path []string) 
 	if err := ex.runSlots(len(elems), func(child *executor, k int) error {
 		i := elems[k]
 		tree := out[i]
-		return child.element(tree, childPath(path, fmt.Sprintf("%s[%d]", tree.Label, i)))
+		return child.element(tree, indexedPath(path, tree.Label, i))
 	}); err != nil {
 		return nil, err
 	}
@@ -247,6 +247,12 @@ func childPath(path []string, seg string) []string {
 	copy(out, path)
 	out[len(path)] = seg
 	return out
+}
+
+// indexedPath is childPath with a "label[i]" segment, built without fmt — it
+// runs once per element subtree on the rewriting hot path.
+func indexedPath(path []string, label string, i int) []string {
+	return childPath(path, label+"["+strconv.Itoa(i)+"]")
 }
 
 // materializeParams rewrites f's parameters into its input type, memoized.
@@ -349,7 +355,7 @@ func (ex *executor) element(e *doc.Node, path []string) error {
 	return ex.runSlots(len(elems), func(child *executor, k int) error {
 		i := elems[k]
 		ch := kids[i]
-		return child.element(ch, childPath(path, fmt.Sprintf("%s[%d]", ch.Label, i)))
+		return child.element(ch, indexedPath(path, ch.Label, i))
 	})
 }
 
@@ -376,8 +382,10 @@ type item struct {
 func (ex *executor) rewriteWord(children []*doc.Node, typ *regex.Regex, path []string) ([]*doc.Node, error) {
 	w := &wordRun{ex: ex, typ: typ}
 	w.items = make([]*item, len(children))
+	backing := make([]item, len(children)) // one allocation for the whole word
 	for i, ch := range children {
-		w.items[i] = &item{node: ch}
+		backing[i].node = ch
+		w.items[i] = &backing[i]
 	}
 	if ex.st.sched != nil && ex.mode == Safe {
 		if err := w.decideParallel(); err != nil {
@@ -429,6 +437,9 @@ type wordRun struct {
 	typ   *regex.Regex
 	items []*item
 	kept  []*item // keeps decided since the last invocation
+	// tokScratch backs tokens(): each verdict consumes its slice before the
+	// next decision rebuilds it, and a word run never queries concurrently.
+	tokScratch []Token
 }
 
 // decideFrom runs the left-to-right decision loop starting at index j: for
@@ -444,7 +455,7 @@ func (w *wordRun) decideFrom(j int) error {
 		}
 		if !it.forced {
 			it.kept = true
-			ok, err := ex.rw.wordOK(ex.tokens(w.items), w.typ, ex.mode)
+			ok, err := ex.rw.wordOK(w.tokens(), w.typ, ex.mode)
 			if err != nil {
 				return err
 			}
@@ -509,10 +520,11 @@ func (ex *executor) callable(it *item) bool {
 
 // tokens projects items to analysis tokens; kept and uncallable functions
 // are frozen.
-func (ex *executor) tokens(items []*item) []Token {
+func (w *wordRun) tokens() []Token {
+	ex := w.ex
 	c := ex.rw.Compiled
-	out := make([]Token, 0, len(items))
-	for _, it := range items {
+	out := w.tokScratch[:0]
+	for _, it := range w.items {
 		if it.node.Kind == doc.Text {
 			continue
 		}
@@ -522,6 +534,7 @@ func (ex *executor) tokens(items []*item) []Token {
 		}
 		out = append(out, tok)
 	}
+	w.tokScratch = out
 	return out
 }
 

@@ -212,7 +212,7 @@ func (w *wordRun) decideParallel() error {
 				continue
 			}
 			it.kept = true
-			ok, err := ex.rw.wordOK(ex.tokens(w.items), w.typ, ex.mode)
+			ok, err := ex.rw.wordOK(w.tokens(), w.typ, ex.mode)
 			if err != nil {
 				return err
 			}

@@ -272,6 +272,10 @@ type staticCheck struct {
 	rw       *Rewriter
 	mode     Mode
 	paramsOK map[*doc.Node]bool
+	// scratch backs tokens() across the whole traversal: each word check
+	// fully consumes its token slice before the next one is built (the word
+	// engines never retain it), so one allocation serves every forest.
+	scratch []Token
 }
 
 // forest checks one forest against a word type: parameters bottom-up, then
@@ -300,7 +304,7 @@ func (sc *staticCheck) forest(forest []*doc.Node, typ *regex.Regex, path []strin
 	}
 	for i, tree := range forest {
 		if tree.Kind == doc.Element {
-			if err := sc.element(tree, childPath(path, fmt.Sprintf("%s[%d]", tree.Label, i))); err != nil {
+			if err := sc.element(tree, indexedPath(path, tree.Label, i)); err != nil {
 				return err
 			}
 		}
@@ -409,7 +413,7 @@ func (sc *staticCheck) element(e *doc.Node, path []string) error {
 	}
 	for i, ch := range e.Children {
 		if ch.Kind == doc.Element {
-			if err := sc.element(ch, childPath(path, fmt.Sprintf("%s[%d]", ch.Label, i))); err != nil {
+			if err := sc.element(ch, indexedPath(path, ch.Label, i)); err != nil {
 				return err
 			}
 		}
@@ -422,7 +426,8 @@ func (sc *staticCheck) element(e *doc.Node, path []string) error {
 // token is frozen when it cannot be invoked.
 func (sc *staticCheck) tokens(forest []*doc.Node) []Token {
 	c := sc.rw.Compiled
-	out := make([]Token, 0, len(forest))
+	out := sc.scratch[:0]
+	defer func() { sc.scratch = out }()
 	for _, ch := range forest {
 		if ch.Kind == doc.Text {
 			continue

@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"axml/internal/telemetry"
+)
+
+// hist is a lock-free fixed-bucket latency histogram, bucket semantics
+// identical to the server's telemetry.Histogram (`le`-inclusive cumulative
+// counts). Client buckets are a strict superset of the server's
+// telemetry.DefBuckets: every server bound appears among the client bounds,
+// so client counts can be re-binned onto the server's grid exactly — the
+// foundation of the /metrics cross-check — while the extra subdivisions give
+// the client sharper p50/p99/p999 estimates than the server exposes.
+type hist struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; last is +Inf
+}
+
+// clientBuckets returns DefBuckets with three geometric subdivisions per
+// interval (plus a decade below the smallest bound).
+func clientBuckets() []float64 {
+	base := telemetry.DefBuckets
+	out := []float64{base[0] / 10, base[0] / 4, base[0] / 2}
+	for i, b := range base {
+		if i > 0 {
+			lo := base[i-1]
+			step := math.Cbrt(b / lo) // geometric thirds of (lo, b)
+			out = append(out, lo*step, lo*step*step)
+		}
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func newHist(bounds []float64) *hist {
+	upper := append([]float64(nil), bounds...)
+	sort.Float64s(upper)
+	return &hist{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+func (h *hist) observe(seconds float64) {
+	i := sort.SearchFloat64s(h.upper, seconds)
+	h.counts[i].Add(1)
+}
+
+func (h *hist) count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile —
+// a conservative (rounded-up) estimate, the same convention Prometheus
+// dashboards use. The +Inf bucket reports the largest finite bound.
+func (h *hist) quantile(q float64) float64 {
+	total := h.count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return ub
+		}
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// rebin folds the histogram onto a coarser grid whose bounds must all appear
+// in h.upper, returning cumulative counts per bound plus the +Inf total.
+func (h *hist) rebin(bounds []float64) (cum []uint64, total uint64) {
+	cum = make([]uint64, len(bounds))
+	j := 0
+	var running uint64
+	for i, ub := range h.upper {
+		running += h.counts[i].Load()
+		if j < len(bounds) && bounds[j] == ub {
+			cum[j] = running
+			j++
+		}
+	}
+	for ; j < len(bounds); j++ {
+		cum[j] = running
+	}
+	return cum, h.count()
+}

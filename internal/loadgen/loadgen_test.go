@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"axml/internal/doc"
+	"axml/internal/peer"
+	"axml/internal/schema"
+	"axml/internal/service"
+	"axml/internal/telemetry"
+)
+
+// --- histogram unit tests ---
+
+func TestClientBucketsSupersetOfDefBuckets(t *testing.T) {
+	bounds := clientBuckets()
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v <= %v", i, bounds[i], bounds[i-1])
+		}
+	}
+	for _, def := range telemetry.DefBuckets {
+		found := false
+		for _, b := range bounds {
+			if b == def {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("DefBuckets bound %v missing from client buckets", def)
+		}
+	}
+}
+
+func TestHistObserveQuantileRebin(t *testing.T) {
+	h := newHist([]float64{0.001, 0.01, 0.1, 1})
+	// 90 fast, 9 medium, 1 slow: p50 in the first bucket, p99 in the third.
+	for i := 0; i < 90; i++ {
+		h.observe(0.0005)
+	}
+	for i := 0; i < 9; i++ {
+		h.observe(0.005)
+	}
+	h.observe(0.05)
+	if got := h.count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.quantile(0.50); got != 0.001 {
+		t.Errorf("p50 = %v, want 0.001", got)
+	}
+	if got := h.quantile(0.99); got != 0.01 {
+		t.Errorf("p99 = %v, want 0.01", got)
+	}
+	if got := h.quantile(0.999); got != 0.1 {
+		t.Errorf("p999 = %v, want 0.1", got)
+	}
+
+	cum, total := h.rebin([]float64{0.01, 1})
+	if total != 100 {
+		t.Fatalf("rebin total = %d, want 100", total)
+	}
+	if cum[0] != 99 || cum[1] != 100 {
+		t.Errorf("rebin cum = %v, want [99 100]", cum)
+	}
+}
+
+func TestHistRebinOntoDefBuckets(t *testing.T) {
+	// Observations recorded at client resolution must fold exactly onto the
+	// server grid: a value between two DefBuckets bounds lands in the finer
+	// client bucket but the same server bucket.
+	h := newHist(clientBuckets())
+	h.observe(0.0003) // between 0.00025 and 0.0005
+	h.observe(0.0004)
+	h.observe(0.002) // between 0.001 and 0.0025
+	cum, total := h.rebin(telemetry.DefBuckets)
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+	// DefBuckets: 0.0001, 0.00025, 0.0005, 0.001, 0.0025, ...
+	want := []uint64{0, 0, 2, 2, 3}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d (full: %v)", i, cum[i], w, cum[:6])
+		}
+	}
+}
+
+// --- metrics parser tests ---
+
+const sampleExposition = `# HELP axml_http_request_seconds HTTP request latency.
+# TYPE axml_http_request_seconds histogram
+axml_http_request_seconds_bucket{handler="exchange",le="0.001"} 5
+axml_http_request_seconds_bucket{handler="exchange",le="0.01"} 9
+axml_http_request_seconds_bucket{handler="exchange",le="+Inf"} 10
+axml_http_request_seconds_sum{handler="exchange"} 0.5
+axml_http_request_seconds_count{handler="exchange"} 10
+axml_http_request_seconds_bucket{handler="doc",le="0.001"} 3
+axml_http_request_seconds_bucket{handler="doc",le="+Inf"} 3
+other_metric_total 42
+`
+
+func TestParseMetrics(t *testing.T) {
+	s, err := parseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.handlerCount("exchange"); got != 10 {
+		t.Errorf("exchange count = %d, want 10", got)
+	}
+	if got := s.handlerCount("doc"); got != 3 {
+		t.Errorf("doc count = %d, want 3", got)
+	}
+	if got := s.buckets["exchange"][0.001]; got != 5 {
+		t.Errorf("exchange le=0.001 = %d, want 5", got)
+	}
+	if q, ok := s.quantileBucket("exchange", 0.50, nil); !ok || q != 0.001 {
+		t.Errorf("exchange p50 bucket = %v/%v, want 0.001", q, ok)
+	}
+	if q, ok := s.quantileBucket("exchange", 0.99, nil); !ok || !math.IsInf(q, 1) {
+		t.Errorf("exchange p99 bucket = %v/%v, want +Inf", q, ok)
+	}
+	if _, ok := s.quantileBucket("missing", 0.5, nil); ok {
+		t.Error("quantileBucket on a missing handler should report !ok")
+	}
+}
+
+func TestQuantileBucketDelta(t *testing.T) {
+	before, err := parseMetrics(strings.NewReader(
+		`axml_http_request_seconds_bucket{handler="exchange",le="0.001"} 5
+axml_http_request_seconds_bucket{handler="exchange",le="0.01"} 5
+axml_http_request_seconds_bucket{handler="exchange",le="+Inf"} 5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := parseMetrics(strings.NewReader(
+		`axml_http_request_seconds_bucket{handler="exchange",le="0.001"} 5
+axml_http_request_seconds_bucket{handler="exchange",le="0.01"} 15
+axml_http_request_seconds_bucket{handler="exchange",le="+Inf"} 15
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 10 delta requests fell in (0.001, 0.01]: every quantile is 0.01.
+	if q, ok := after.quantileBucket("exchange", 0.5, before); !ok || q != 0.01 {
+		t.Errorf("delta p50 = %v/%v, want 0.01", q, ok)
+	}
+}
+
+func TestCrossCheckCountMismatch(t *testing.T) {
+	h := newHist(clientBuckets())
+	h.observe(0.0003)
+	empty := &scrape{buckets: map[string]map[float64]uint64{}}
+	chk := crossCheck("exchange", h, empty, empty)
+	if chk.OK {
+		t.Fatalf("cross-check passed despite count mismatch: %+v", chk)
+	}
+	if chk.ClientCount != 1 || chk.ServerCount != 0 {
+		t.Errorf("counts = %d/%d, want 1/0", chk.ClientCount, chk.ServerCount)
+	}
+}
+
+// --- live-peer smoke tests (the -race concurrent loadgen smoke rides on
+// these: `go test -race ./internal/loadgen/` drives every mix with multiple
+// workers against an in-process Peer.Handler()) ---
+
+const newsSchema = `
+root newspaper
+elem newspaper = title.date.(Get_Temp|temp).(TimeOut|exhibit*)
+elem title = data
+elem date = data
+elem temp = data
+elem city = data
+elem exhibit = title.date
+elem performance = data
+func Get_Temp = city -> temp
+func TimeOut = data -> (exhibit|performance)*
+`
+
+// testPeer builds the Figure 1 newspaper peer with local service
+// implementations and telemetry, the fixture every smoke test serves.
+func testPeer(t testing.TB) *peer.Peer {
+	t.Helper()
+	s := schema.MustParseText(newsSchema, nil)
+	p := peer.New("news", s)
+	p.Telemetry = telemetry.NewRegistry()
+	register := func(name string, h func([]*doc.Node) ([]*doc.Node, error)) {
+		if err := p.Services.Register(&service.Operation{Name: name, Def: s.Funcs[name], Handler: h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	register("Get_Temp", func([]*doc.Node) ([]*doc.Node, error) {
+		return []*doc.Node{doc.Elem("temp", doc.TextNode("15"))}, nil
+	})
+	register("TimeOut", func([]*doc.Node) ([]*doc.Node, error) {
+		return []*doc.Node{doc.Elem("exhibit", doc.Elem("title", doc.TextNode("Dali")), doc.Elem("date", doc.TextNode("2002")))}, nil
+	})
+	return p
+}
+
+func runMix(t *testing.T, mix string, mutate func(*Config)) *Report {
+	t.Helper()
+	ts := httptest.NewServer(testPeer(t).Handler())
+	defer ts.Close()
+	cfg := Config{
+		BaseURL:     ts.URL,
+		Mix:         mix,
+		Duration:    400 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        7,
+		Docs:        8,
+		Client:      ts.Client(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rep, err := New(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunMixes(t *testing.T) {
+	for _, mix := range Mixes {
+		t.Run(mix, func(t *testing.T) {
+			rep := runMix(t, mix, nil)
+			if rep.Requests == 0 {
+				t.Fatal("no requests completed")
+			}
+			if rep.Non2xx != 0 {
+				t.Errorf("%d non-2xx responses: %v", rep.Non2xx, rep.Status)
+			}
+			if rep.Errors != 0 {
+				t.Errorf("%d transport errors", rep.Errors)
+			}
+			if rep.Throughput <= 0 {
+				t.Errorf("throughput = %v", rep.Throughput)
+			}
+			if len(rep.Handlers) == 0 {
+				t.Error("no handler stats recorded")
+			}
+			for name, hs := range rep.Handlers {
+				if hs.P50 <= 0 || hs.P99 < hs.P50 || hs.P999 < hs.P99 {
+					t.Errorf("handler %s: implausible quantiles %+v", name, hs)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownMix(t *testing.T) {
+	ts := httptest.NewServer(testPeer(t).Handler())
+	defer ts.Close()
+	_, err := New(Config{BaseURL: ts.URL, Mix: "bogus", Duration: 10 * time.Millisecond, Docs: 1, Client: ts.Client()}).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unknown mix") {
+		t.Fatalf("err = %v, want unknown mix", err)
+	}
+}
+
+func TestRunOpenLoopRate(t *testing.T) {
+	rep := runMix(t, "exchange", func(c *Config) {
+		c.Rate = 100
+		c.Duration = 500 * time.Millisecond
+	})
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	// An open loop at 100 rps for 0.5s issues ~50 requests; allow generous
+	// slack for ticker startup and scheduling, but it must stay well below
+	// what the closed loop achieves (thousands).
+	if rep.Requests > 120 {
+		t.Errorf("open loop at 100 rps issued %d requests in %.2fs", rep.Requests, rep.Duration)
+	}
+	if rep.Non2xx != 0 || rep.Errors != 0 {
+		t.Errorf("non2xx=%d errors=%d", rep.Non2xx, rep.Errors)
+	}
+}
+
+func TestRunMetricsCrossCheck(t *testing.T) {
+	rep := runMix(t, "mixed", func(c *Config) { c.CheckMetrics = true })
+	if len(rep.Checks) == 0 {
+		t.Fatal("no metrics cross-checks recorded")
+	}
+	for _, chk := range rep.Checks {
+		if chk.ClientCount != chk.ServerCount {
+			t.Errorf("handler %s: client saw %d requests, server histogram %d",
+				chk.Handler, chk.ClientCount, chk.ServerCount)
+		}
+		if !chk.OK {
+			t.Errorf("handler %s: cross-check failed: %s", chk.Handler, chk.Reason)
+		}
+	}
+	if !rep.ChecksOK {
+		t.Error("ChecksOK = false")
+	}
+}

@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"axml/internal/telemetry"
+)
+
+// scrape holds the per-handler request histograms parsed out of one
+// /metrics exposition: cumulative bucket counts keyed by handler and `le`
+// upper bound, in the text 0.0.4 format internal/telemetry writes.
+type scrape struct {
+	// buckets[handler][le] = cumulative count; +Inf is math.Inf(1).
+	buckets map[string]map[float64]uint64
+}
+
+// parseMetrics extracts the axml_http_request_seconds histograms from a
+// Prometheus text exposition. Lines of other families are skipped.
+func parseMetrics(r io.Reader) (*scrape, error) {
+	s := &scrape{buckets: map[string]map[float64]uint64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	const family = "axml_http_request_seconds_bucket{"
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return nil, fmt.Errorf("loadgen: malformed metric line %q", line)
+		}
+		labels, valueStr := rest[:end], strings.TrimSpace(rest[end+1:])
+		handler, le := "", ""
+		for _, kv := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				continue
+			}
+			v = strings.Trim(v, `"`)
+			switch k {
+			case "handler":
+				handler = v
+			case "le":
+				le = v
+			}
+		}
+		if handler == "" || le == "" {
+			continue
+		}
+		ub := math.Inf(1)
+		if le != "+Inf" {
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad le %q: %v", le, err)
+			}
+			ub = f
+		}
+		n, err := strconv.ParseUint(valueStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad bucket count in %q: %v", line, err)
+		}
+		if s.buckets[handler] == nil {
+			s.buckets[handler] = map[float64]uint64{}
+		}
+		s.buckets[handler][ub] = n
+	}
+	return s, sc.Err()
+}
+
+// handlerCount returns the +Inf cumulative count for a handler.
+func (s *scrape) handlerCount(handler string) uint64 {
+	return s.buckets[handler][math.Inf(1)]
+}
+
+// quantileBucket computes the q-quantile of a handler's histogram as the
+// upper bound of the bucket holding it — the server-side counterpart of
+// hist.quantile at DefBuckets resolution. delta subtracts a prior scrape so
+// only requests made between the two scrapes count.
+func (s *scrape) quantileBucket(handler string, q float64, prior *scrape) (float64, bool) {
+	cur := s.buckets[handler]
+	if cur == nil {
+		return 0, false
+	}
+	var before map[float64]uint64
+	if prior != nil {
+		before = prior.buckets[handler]
+	}
+	bounds := make([]float64, 0, len(cur))
+	for ub := range cur {
+		if !math.IsInf(ub, 1) {
+			bounds = append(bounds, ub)
+		}
+	}
+	sort.Float64s(bounds)
+	total := cur[math.Inf(1)] - before[math.Inf(1)]
+	if total == 0 {
+		return 0, false
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	for _, ub := range bounds {
+		if cur[ub]-before[ub] >= rank {
+			return ub, true
+		}
+	}
+	return math.Inf(1), true
+}
+
+// MetricsCheck is the client-vs-server histogram comparison for one handler.
+// Two invariants are enforced: request counts must agree exactly (every
+// client request was observed by exactly one server histogram sample), and
+// the client's p99 bucket must not sit below the server's by more than one
+// bucket of edge jitter — a client cannot observe requests faster than the
+// server that handled them. The upper direction is not bounded: client
+// wall-clock adds transport and queueing on top of server handler time,
+// which at sub-millisecond bucket widths legitimately spans several
+// buckets; both bucket values are reported so the gap stays visible.
+type MetricsCheck struct {
+	Handler     string  `json:"handler"`
+	ClientCount uint64  `json:"client_count"`
+	ServerCount uint64  `json:"server_count"`
+	ClientP99   float64 `json:"client_p99_bucket_s"`
+	ServerP99   float64 `json:"server_p99_bucket_s"`
+	OK          bool    `json:"ok"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+// crossCheck compares the client-side histogram for one handler against the
+// server's /metrics delta between two scrapes.
+func crossCheck(handler string, client *hist, before, after *scrape) MetricsCheck {
+	chk := MetricsCheck{Handler: handler}
+	chk.ClientCount = client.count()
+	chk.ServerCount = after.handlerCount(handler) - before.handlerCount(handler)
+	if chk.ClientCount != chk.ServerCount {
+		chk.Reason = fmt.Sprintf("request counts diverge: client %d, server %d", chk.ClientCount, chk.ServerCount)
+		return chk
+	}
+	if chk.ClientCount == 0 {
+		chk.OK = true
+		return chk
+	}
+	serverP99, ok := after.quantileBucket(handler, 0.99, before)
+	if !ok {
+		chk.Reason = "server histogram missing"
+		return chk
+	}
+	chk.ServerP99 = serverP99
+	// Re-bin the client histogram onto the server's grid and read its p99 at
+	// the server's resolution before comparing bucket indices.
+	def := telemetry.DefBuckets
+	cum, total := client.rebin(def)
+	rank := uint64(math.Ceil(0.99 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	clientP99 := math.Inf(1)
+	idx := len(def)
+	for i, ub := range def {
+		if cum[i] >= rank {
+			clientP99, idx = ub, i
+			break
+		}
+	}
+	chk.ClientP99 = clientP99
+	sIdx := len(def)
+	for i, ub := range def {
+		if ub == serverP99 {
+			sIdx = i
+			break
+		}
+	}
+	if idx < sIdx-1 {
+		chk.Reason = fmt.Sprintf("client p99 bucket below the server's: client %gs, server %gs", clientP99, serverP99)
+		return chk
+	}
+	chk.OK = true
+	return chk
+}

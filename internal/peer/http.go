@@ -2,7 +2,9 @@ package peer
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
@@ -89,17 +91,10 @@ func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		limit := p.MaxRequestBytes
-		if limit == 0 {
-			limit = soap.DefaultMaxRequestBytes
-		}
-		body := r.Body
-		if limit > 0 {
-			body = http.MaxBytesReader(w, r.Body, limit)
-		}
+		body := p.limitBody(w, r)
 		d, err := xmlio.Parse(body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), body.errorStatus(err))
 			return
 		}
 		if err := p.Repo.Put(name, d); err != nil {
@@ -137,11 +132,17 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "mode must be safe, possible or mixed", http.StatusBadRequest)
 		return
 	}
-	// The exchange schema interns into the peer's table so that the
-	// rewriter can relate the two schemas.
-	exchange, err := xsdint.Parse(r.Body, xsdint.Options{Table: p.Schema.Table})
+	// The exchange schema is parsed into a request-scoped *overlay* of the
+	// peer's table: shared symbols resolve identically (so the rewriter can
+	// relate the two schemas and the enforcement cache still hits on repeated
+	// schemas), while labels this peer has never seen intern into the
+	// throwaway overlay — N distinct hostile schemas leave the shared table,
+	// and therefore peer memory, untouched. The body is capped like every
+	// other write path.
+	body := p.limitBody(w, r)
+	exchange, err := xsdint.Parse(body, xsdint.Options{Table: p.Schema.Table.Overlay()})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), body.errorStatus(err))
 		return
 	}
 	out, err := p.SendDocumentContext(r.Context(), name, exchange, mode)
@@ -165,6 +166,50 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 // single source of truth and /stats is a JSON view of it (see DESIGN.md §8
 // for the field-to-series mapping); the JSON shape is unchanged either way,
 // except for a "telemetry" flag reporting which source served the numbers.
+// cappedBody is a request body behind http.MaxBytesReader that remembers
+// whether the cap tripped: parsers in the read path (xsdint, xml.Decoder)
+// do not all preserve the *http.MaxBytesError through their error wrapping,
+// so the 413-vs-400 decision cannot rely on errors.As alone.
+type cappedBody struct {
+	r       io.Reader
+	tripped bool
+}
+
+func (c *cappedBody) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			c.tripped = true
+		}
+	}
+	return n, err
+}
+
+// errorStatus maps a body-read/parse error to a status: 413 when the body
+// cap tripped, 400 for everything else.
+func (c *cappedBody) errorStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if c.tripped || errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// limitBody wraps a request body with the peer's MaxRequestBytes cap — the
+// same discipline the SOAP endpoint applies: 0 selects the SOAP default,
+// negative disables the limit.
+func (p *Peer) limitBody(w http.ResponseWriter, r *http.Request) *cappedBody {
+	limit := p.MaxRequestBytes
+	if limit == 0 {
+		limit = soap.DefaultMaxRequestBytes
+	}
+	if limit <= 0 {
+		return &cappedBody{r: r.Body}
+	}
+	return &cappedBody{r: http.MaxBytesReader(w, r.Body, limit)}
+}
+
 func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)

@@ -1,0 +1,148 @@
+package peer
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// identityExchangeXSD is an exchange schema equivalent to the news peer's
+// own (so exchanges succeed); shared by the hardening tests.
+const identityExchangeXSD = `
+<schema root="newspaper">
+  <element name="newspaper"><complexType><sequence>
+    <element ref="title"/><element ref="date"/><element ref="temp"/>
+    <choice><function ref="TimeOut"/><element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/></choice>
+  </sequence></complexType></element>
+  <element name="title" type="xs:string"/>
+  <element name="date" type="xs:string"/>
+  <element name="temp" type="xs:string"/>
+  <element name="city" type="xs:string"/>
+  <element name="exhibit"><complexType><sequence>
+    <element ref="title"/><element ref="date"/>
+  </sequence></complexType></element>
+  <element name="performance" type="xs:string"/>
+  <function id="Get_Temp"><params><param><element ref="city"/></param></params>
+    <return><element ref="temp"/></return></function>
+  <function id="TimeOut">
+    <return><choice minOccurs="0" maxOccurs="unbounded">
+      <element ref="exhibit"/><element ref="performance"/>
+    </choice></return></function>
+</schema>`
+
+// TestExchangeBodyCap: /exchange must enforce the same MaxRequestBytes/413
+// discipline as /soap and PUT /doc — before this fix it read an unbounded
+// body straight into the schema parser.
+func TestExchangeBodyCap(t *testing.T) {
+	p := newsPeer(t)
+	p.MaxRequestBytes = 4096
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	// A syntactically endless schema body far beyond the cap.
+	huge := "<schema root=\"newspaper\">" + strings.Repeat("<annotation>x</annotation>", 8192)
+	resp, err := http.Post(ts.URL+"/exchange/today", "text/xml", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized /exchange body = %d, want 413", resp.StatusCode)
+	}
+
+	// PUT /doc reports the cap as 413 too (not a generic parse 400).
+	hugeDoc := "<memo>" + strings.Repeat("y", 8192)
+	if resp := doReq(t, http.MethodPut, ts.URL+"/doc/big", hugeDoc); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized PUT /doc body = %d, want 413", resp.StatusCode)
+	}
+
+	// A small well-formed request still works.
+	resp2, err := http.Post(ts.URL+"/exchange/today?mode=safe", "text/xml", strings.NewReader(identityExchangeXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("small /exchange body = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestExchangeHostileSchemasBoundedMemory: N distinct exchange schemas, each
+// carrying labels the peer has never seen, must not grow the peer's shared
+// symbol table at all — untrusted interning is scoped to a per-request
+// overlay — and the enforcement cache must stay within its bound rather than
+// accumulating one resident analysis per hostile schema.
+func TestExchangeHostileSchemasBoundedMemory(t *testing.T) {
+	p := newsPeer(t)
+	p.Enforcement.Purge()
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	// Warm the table with one legitimate exchange so lazily-interned
+	// baseline symbols don't muddy the measurement.
+	resp, err := http.Post(ts.URL+"/exchange/today?mode=safe", "text/xml", strings.NewReader(identityExchangeXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	before := p.Schema.Table.Len()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		hostile := fmt.Sprintf(`
+<schema root="newspaper">
+  <element name="newspaper"><complexType><sequence>
+    <element ref="junk_a_%d"/><element ref="junk_b_%d"/>
+  </sequence></complexType></element>
+  <element name="junk_a_%d" type="xs:string"/>
+  <element name="junk_b_%d" type="xs:string"/>
+</schema>`, i, i, i, i)
+		resp, err := http.Post(ts.URL+"/exchange/today", "text/xml", strings.NewReader(hostile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// The exchange itself fails (422) — the attack is the parse.
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("hostile schema %d: status %d, want 422", i, resp.StatusCode)
+		}
+	}
+
+	if after := p.Schema.Table.Len(); after != before {
+		t.Errorf("shared symbol table grew from %d to %d over %d hostile schemas", before, after, n)
+	}
+	if size := p.Enforcement.Len(); size > 64 {
+		t.Errorf("enforcement cache holds %d entries, want <= its 64 bound", size)
+	}
+}
+
+// TestExchangeOverlayKeepsCacheHits: the per-request overlay must not defeat
+// the enforcement cache — repeated identical exchange schemas still compile
+// once and hit thereafter, because equal overlays share a cache namespace.
+func TestExchangeOverlayKeepsCacheHits(t *testing.T) {
+	p := newsPeer(t)
+	p.Enforcement.Purge()
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	start := p.Enforcement.Stats()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/exchange/today?mode=safe", "text/xml", strings.NewReader(identityExchangeXSD))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exchange %d: status %d", i, resp.StatusCode)
+		}
+	}
+	stats := p.Enforcement.Stats()
+	if misses := stats.Misses - start.Misses; misses != 1 {
+		t.Errorf("3 identical exchanges compiled %d times, want 1", misses)
+	}
+	if hits := stats.Hits - start.Hits; hits < 2 {
+		t.Errorf("3 identical exchanges hit the cache %d times, want >= 2", hits)
+	}
+}

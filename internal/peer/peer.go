@@ -118,6 +118,13 @@ func (p *Peer) instruments() *core.Instruments {
 			return
 		}
 		p.ins = p.Enforcement.Instrument(p.Telemetry)
+		// The shared symbol table is long-lived peer state: its size must be
+		// observable so unbounded growth (e.g. a leak of untrusted labels
+		// past the request-scoped overlays) is visible, not silent.
+		table := p.Schema.Table
+		p.Telemetry.GaugeFunc("axml_symbol_table_symbols", func() float64 {
+			return float64(table.Len())
+		})
 	})
 	return p.ins
 }

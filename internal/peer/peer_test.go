@@ -32,7 +32,7 @@ func TimeOut = data -> (exhibit|performance)*
 
 // newsPeer builds a peer holding the Figure 2 newspaper document with local
 // implementations of Get_Temp and TimeOut.
-func newsPeer(t *testing.T) *Peer {
+func newsPeer(t testing.TB) *Peer {
 	t.Helper()
 	s := schema.MustParseText(newspaperSchema, nil)
 	p := New("news", s)
@@ -51,7 +51,7 @@ func newsPeer(t *testing.T) *Peer {
 	return p
 }
 
-func opOf(t *testing.T, p *Peer, name string, h func([]*doc.Node) ([]*doc.Node, error)) *service.Operation {
+func opOf(t testing.TB, p *Peer, name string, h func([]*doc.Node) ([]*doc.Node, error)) *service.Operation {
 	t.Helper()
 	if p.Schema.Funcs[name] == nil {
 		t.Fatalf("function %q not declared", name)
@@ -59,7 +59,7 @@ func opOf(t *testing.T, p *Peer, name string, h func([]*doc.Node) ([]*doc.Node, 
 	return &service.Operation{Name: name, Def: p.Schema.Funcs[name], Handler: h}
 }
 
-func must(t *testing.T, err error) {
+func must(t testing.TB, err error) {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package peer
+
+// raceEnabled reports whether the race detector is active; the allocation
+// regression gate skips under it.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package peer
+
+const raceEnabled = true

@@ -42,8 +42,9 @@ type Regex struct {
 	Op   Op
 	Sym  Symbol                 // valid when Op == OpSym
 	Cls  Class                  // valid when Op == OpClass
-	Subs []*Regex               // valid when Op is OpConcat, OpAlt (len ≥ 2) or OpStar (len 1)
-	key  atomic.Pointer[string] // memoized canonical key
+	Subs []*Regex                // valid when Op is OpConcat, OpAlt (len ≥ 2) or OpStar (len 1)
+	key  atomic.Pointer[string]  // memoized canonical key
+	pos  atomic.Pointer[PosInfo] // memoized Glushkov analysis (see Positions)
 }
 
 var (

@@ -24,13 +24,21 @@ type PosInfo struct {
 	Nullable bool
 }
 
-// Positions computes the Glushkov analysis of r.
+// Positions computes the Glushkov analysis of r. The result is memoized on
+// the node — Regex values are immutable after construction and every caller
+// treats PosInfo as read-only, so the analysis of a long-lived content model
+// (validation and UPA checks revisit the same models on every message) is
+// paid once; racing writers publish structurally identical values.
 func Positions(r *Regex) *PosInfo {
+	if p := r.pos.Load(); p != nil {
+		return p
+	}
 	info := &PosInfo{}
 	first, last, nullable := info.walk(r)
 	info.First = first
 	info.Last = last
 	info.Nullable = nullable
+	r.pos.Store(info)
 	return info
 }
 

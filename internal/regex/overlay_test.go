@@ -1,0 +1,193 @@
+package regex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestOverlayResolvesParentSymbols(t *testing.T) {
+	root := NewTable()
+	a := root.Intern("a")
+	b := root.Intern("b")
+
+	ov := root.Overlay()
+	if got := ov.Intern("a"); got != a {
+		t.Fatalf("overlay Intern(a) = %d, want parent's %d", got, a)
+	}
+	if got, ok := ov.Lookup("b"); !ok || got != b {
+		t.Fatalf("overlay Lookup(b) = %d,%v, want %d,true", got, ok, b)
+	}
+	if ov.Name(a) != "a" || ov.Name(b) != "b" {
+		t.Fatalf("overlay Name() does not resolve parent symbols")
+	}
+}
+
+func TestOverlayInternsLocallyWithoutGrowingParent(t *testing.T) {
+	root := NewTable()
+	root.Intern("a")
+	before := root.Len()
+
+	ov := root.Overlay()
+	x := ov.Intern("x")
+	y := ov.Intern("y")
+	if root.Len() != before {
+		t.Fatalf("parent grew from %d to %d via overlay interning", before, root.Len())
+	}
+	if _, ok := root.Lookup("x"); ok {
+		t.Fatalf("parent sees overlay-local name")
+	}
+	if int(x) != before || int(y) != before+1 {
+		t.Fatalf("overlay symbols %d,%d do not continue parent numbering from %d", x, y, before)
+	}
+	if ov.Name(x) != "x" || ov.Name(y) != "y" {
+		t.Fatalf("overlay Name() wrong for local symbols")
+	}
+	if ov.Intern("x") != x {
+		t.Fatalf("overlay re-intern not idempotent")
+	}
+	if ov.Len() != before+2 {
+		t.Fatalf("overlay Len() = %d, want %d", ov.Len(), before+2)
+	}
+}
+
+// A name the parent interns after overlay creation must stay invisible: the
+// overlay's symbol assignment cannot depend on concurrent parent growth.
+func TestOverlayFrozenAgainstLaterParentGrowth(t *testing.T) {
+	root := NewTable()
+	root.Intern("a")
+	ov := root.Overlay()
+
+	late := root.Intern("late") // parent grows after the snapshot
+	s := ov.Intern("x")         // overlay numbering must not shift
+	if int(s) != int(late) {
+		// Both continue from the same snapshot point — ids may coincide
+		// numerically, but each view resolves its own: that is the invariant.
+		t.Fatalf("overlay symbol %d, parent post-snapshot symbol %d: numbering diverged from the snapshot", s, late)
+	}
+	if ov.Name(s) != "x" {
+		t.Fatalf("overlay Name(%d) = %q, want x (post-snapshot parent name leaked in)", s, ov.Name(s))
+	}
+	// "late" is invisible to the overlay: it resolves to a fresh local id,
+	// not the parent's post-snapshot one (which may mean a different name in
+	// overlays created earlier).
+	s2 := ov.Intern("late")
+	if s2 == late || ov.Name(s2) != "late" {
+		t.Fatalf("overlay Intern(late) = %d (parent's %d); want a fresh local id", s2, late)
+	}
+	if got, ok := ov.Lookup("late"); !ok || got != s2 {
+		t.Fatalf("overlay Lookup(late) = %d,%v, want local %d", got, ok, s2)
+	}
+	// The parent's assignment is unaffected.
+	if got, _ := root.Lookup("late"); got != late {
+		t.Fatalf("parent's own symbol changed")
+	}
+}
+
+func TestOverlayNamesAndSymbols(t *testing.T) {
+	root := NewTable()
+	root.Intern("a")
+	root.Intern("b")
+	ov := root.Overlay()
+	ov.Intern("x")
+
+	want := []string{"a", "b", "x"}
+	got := ov.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if syms := ov.Symbols(); len(syms) != 3 || syms[2] != 2 {
+		t.Fatalf("Symbols() = %v", syms)
+	}
+}
+
+func TestOverlayRootAndExtends(t *testing.T) {
+	root := NewTable()
+	ov := root.Overlay()
+	ov2 := ov.Overlay()
+	if ov.Root() != root || ov2.Root() != root || root.Root() != root {
+		t.Fatalf("Root() broken")
+	}
+	if !ov.Extends(root) || !ov2.Extends(root) || !ov2.Extends(ov) || !root.Extends(root) {
+		t.Fatalf("Extends() false negative")
+	}
+	other := NewTable()
+	if ov.Extends(other) || root.Extends(ov) {
+		t.Fatalf("Extends() false positive")
+	}
+}
+
+func TestOverlayExtensionKey(t *testing.T) {
+	root := NewTable()
+	root.Intern("a")
+	if root.ExtensionKey() != "" {
+		t.Fatalf("plain table must have empty extension key")
+	}
+	ov1 := root.Overlay()
+	ov1.Intern("x")
+	ov1.Intern("y")
+	ov2 := root.Overlay()
+	ov2.Intern("x")
+	ov2.Intern("y")
+	if ov1.ExtensionKey() != ov2.ExtensionKey() {
+		t.Fatalf("identical overlays must share an extension key")
+	}
+	ov3 := root.Overlay()
+	ov3.Intern("y")
+	ov3.Intern("x")
+	if ov1.ExtensionKey() == ov3.ExtensionKey() {
+		t.Fatalf("different intern orders must differ in extension key")
+	}
+	root.Intern("grow")
+	ov4 := root.Overlay() // different base
+	ov4.Intern("x")
+	ov4.Intern("y")
+	if ov1.ExtensionKey() == ov4.ExtensionKey() {
+		t.Fatalf("different bases must differ in extension key")
+	}
+	// An overlay that interned nothing still differs from the root ("" vs a
+	// base marker), so overlay-built analyses never collide with root-built
+	// ones in caches keyed by (root, extension key).
+	if root.Overlay().ExtensionKey() == "" {
+		t.Fatalf("empty overlay key must be distinguishable from the root's")
+	}
+}
+
+// Overlays must be safe for concurrent interning (a cached Compiled built on
+// an overlay serves parallel requests that intern document labels into it)
+// and concurrent parent reads.
+func TestOverlayConcurrent(t *testing.T) {
+	root := NewTable()
+	for i := 0; i < 16; i++ {
+		root.Intern(fmt.Sprintf("p%d", i))
+	}
+	ov := root.Overlay()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := ov.Intern(fmt.Sprintf("n%d", i%32))
+				if name := ov.Name(s); name != fmt.Sprintf("n%d", i%32) {
+					panic("name mismatch: " + name)
+				}
+				ov.Intern(fmt.Sprintf("p%d", i%16)) // parent hits
+				_ = ov.Len()
+				_, _ = root.Lookup("p0")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if root.Len() != 16 {
+		t.Fatalf("parent grew to %d under concurrent overlay traffic", root.Len())
+	}
+	if ov.Len() != 16+32 {
+		t.Fatalf("overlay Len() = %d, want %d", ov.Len(), 48)
+	}
+}

@@ -26,6 +26,8 @@ package regex
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -38,11 +40,22 @@ const NoSymbol Symbol = -1
 
 // Table interns names to Symbols. The zero value is not usable; create one
 // with NewTable. Tables are safe for concurrent use: peers share one table
-// across HTTP requests that may intern fresh names (e.g. labels of an
-// incoming exchange schema).
+// across HTTP requests that may intern fresh names.
+//
+// A table may be an *overlay* of a parent table (see Overlay): it resolves
+// every symbol the parent had interned when the overlay was created, and
+// interns new names locally without ever touching the parent. Overlays are
+// how a peer parses untrusted exchange schemas request-scoped: hostile label
+// churn lands in the throwaway overlay, never in the peer's shared table.
 type Table struct {
+	// parent, when non-nil, makes this table an overlay: symbols below base
+	// resolve through parent, symbols at or above base live in names/ids.
+	// parent and base are immutable after construction.
+	parent *Table
+	base   int
+
 	mu    sync.RWMutex
-	names []string
+	names []string // local names; global symbol = base + local index
 	ids   map[string]Symbol
 }
 
@@ -51,7 +64,93 @@ func NewTable() *Table {
 	return &Table{ids: make(map[string]Symbol)}
 }
 
-// Intern returns the Symbol for name, creating it if necessary.
+// Overlay returns a child table layered over t: every symbol t has interned
+// so far resolves identically through the overlay, while names unknown to t
+// intern locally into the overlay — t itself never grows. Symbols handed out
+// by the overlay continue t's numbering (t.Len(), t.Len()+1, ...), so regexes
+// and automata built against the overlay agree with t's on every shared
+// symbol. Names t interns *after* the overlay was created are deliberately
+// invisible: the overlay's view is the frozen prefix plus its own extension,
+// which keeps its symbol assignment stable under concurrent parent growth.
+func (t *Table) Overlay() *Table {
+	return &Table{parent: t, base: t.Len()}
+}
+
+// Root returns the ultimate ancestor of an overlay chain (t itself for a
+// plain table). All overlays of one root share its symbol namespace.
+func (t *Table) Root() *Table {
+	for t.parent != nil {
+		t = t.parent
+	}
+	return t
+}
+
+// Extends reports whether t is s or an overlay (transitively) of s — the
+// compatibility relation under which symbols of s keep their meaning in t.
+func (t *Table) Extends(s *Table) bool {
+	for ; t != nil; t = t.parent {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtensionKey identifies an overlay's view of the symbol space beyond its
+// root: the snapshot bases and locally-interned names of every overlay level,
+// in order. Two overlays of one root with equal keys assign identical symbols
+// to identical names, so the key (together with the root's identity) is a
+// sound cache-namespace for analyses built against overlays. Plain tables
+// return "".
+func (t *Table) ExtensionKey() string {
+	if t.parent == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.extensionKey(&b)
+	return b.String()
+}
+
+func (t *Table) extensionKey(b *strings.Builder) {
+	if t.parent == nil {
+		return
+	}
+	t.parent.extensionKey(b)
+	b.WriteByte('\x01')
+	b.WriteString(strconv.Itoa(t.base))
+	t.mu.RLock()
+	for _, n := range t.names {
+		b.WriteByte('\x00')
+		b.WriteString(n)
+	}
+	t.mu.RUnlock()
+}
+
+// lookupBelow resolves name to a symbol strictly below limit, consulting
+// ancestors first so the lowest (oldest) assignment wins — the same order
+// Intern uses, keeping the two consistent.
+func (t *Table) lookupBelow(name string, limit int) (Symbol, bool) {
+	if t.parent != nil {
+		bound := limit
+		if t.base < bound {
+			bound = t.base
+		}
+		if s, ok := t.parent.lookupBelow(name, bound); ok {
+			return s, true
+		}
+	}
+	t.mu.RLock()
+	s, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok && int(s) < limit {
+		return s, true
+	}
+	return NoSymbol, false
+}
+
+// Intern returns the Symbol for name, creating it if necessary. On an
+// overlay, a name the parent knew at overlay creation resolves to the
+// parent's symbol; anything else interns locally.
 func (t *Table) Intern(name string) Symbol {
 	t.mu.RLock()
 	s, ok := t.ids[name]
@@ -59,64 +158,96 @@ func (t *Table) Intern(name string) Symbol {
 	if ok {
 		return s
 	}
+	if t.parent != nil {
+		if s, ok := t.parent.lookupBelow(name, t.base); ok {
+			return s
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if s, ok := t.ids[name]; ok {
 		return s
 	}
-	s = Symbol(len(t.names))
+	s = Symbol(t.base + len(t.names))
 	t.names = append(t.names, name)
+	if t.ids == nil {
+		// Overlays allocate their map lazily: a well-behaved exchange schema
+		// references only known names and the overlay stays allocation-free.
+		t.ids = make(map[string]Symbol)
+	}
 	t.ids[name] = s
 	return s
 }
 
-// Lookup returns the Symbol for name if it has been interned.
+// Lookup returns the Symbol for name if it has been interned (in this table
+// or, for overlays, in the visible parent prefix).
 func (t *Table) Lookup(name string) (Symbol, bool) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
 	s, ok := t.ids[name]
-	if !ok {
-		return NoSymbol, false
+	t.mu.RUnlock()
+	if ok {
+		return s, true
 	}
-	return s, true
+	if t.parent != nil {
+		return t.parent.lookupBelow(name, t.base)
+	}
+	return NoSymbol, false
 }
 
 // Name returns the name interned as s. It panics if s was not handed out by
-// this table.
+// this table (or, for overlays, by the visible part of an ancestor).
 func (t *Table) Name(s Symbol) string {
+	if t.parent != nil && int(s) < t.base {
+		return t.parent.Name(s)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if s < 0 || int(s) >= len(t.names) {
-		panic(fmt.Sprintf("regex: symbol %d not in table (len %d)", s, len(t.names)))
+	if s < 0 || int(s)-t.base >= len(t.names) {
+		panic(fmt.Sprintf("regex: symbol %d not in table (len %d)", s, t.base+len(t.names)))
 	}
-	return t.names[s]
+	return t.names[int(s)-t.base]
 }
 
-// Len reports how many symbols have been interned.
+// Len reports how many symbols are visible: for overlays, the frozen parent
+// prefix plus local interns — parent growth after overlay creation does not
+// count.
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.names)
+	return t.base + len(t.names)
 }
 
-// Symbols returns all interned symbols in interning order.
+// Symbols returns all visible symbols in interning order.
 func (t *Table) Symbols() []Symbol {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Symbol, len(t.names))
+	n := t.Len()
+	out := make([]Symbol, n)
 	for i := range out {
 		out[i] = Symbol(i)
 	}
 	return out
 }
 
-// Names returns a copy of all interned names in interning order.
+// Names returns a copy of all visible names in interning order.
 func (t *Table) Names() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]string, len(t.names))
-	copy(out, t.names)
+	out := make([]string, t.Len())
+	t.fillNames(out)
 	return out
+}
+
+// fillNames copies the names for global symbols [0, len(out)) into out.
+func (t *Table) fillNames(out []string) {
+	if t.parent != nil && t.base > 0 {
+		bound := t.base
+		if len(out) < bound {
+			bound = len(out)
+		}
+		t.parent.fillNames(out[:bound])
+	}
+	if len(out) > t.base {
+		t.mu.RLock()
+		copy(out[t.base:], t.names)
+		t.mu.RUnlock()
+	}
 }
 
 // Class is a set (or complemented set) of symbols, used for wildcard leaves:

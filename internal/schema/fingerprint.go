@@ -1,14 +1,20 @@
 package schema
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"strconv"
-	"strings"
+	"sync"
 
 	"axml/internal/regex"
 )
+
+// fpBufPool recycles the serialization buffer Fingerprint hashes: the peer
+// computes two fingerprints per /exchange request (its own schema plus the
+// request's), and only the 32-byte hex digest needs to survive the call.
+var fpBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Fingerprint returns a content-based identity for the schema, suitable as a
 // cache key for compiled schema-pair analyses: two schemas interned into the
@@ -27,7 +33,9 @@ import (
 // fingerprint additionally pins the schema's pointer identity, trading cache
 // hits across re-parses for correctness.
 func (s *Schema) Fingerprint() string {
-	var b strings.Builder
+	b := fpBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer fpBufPool.Put(b)
 	b.WriteString("root=")
 	b.WriteString(s.Root)
 	b.WriteByte('\n')
@@ -71,7 +79,7 @@ func (s *Schema) Fingerprint() string {
 			opaque = true
 		}
 	}
-	sum := sha256.Sum256([]byte(b.String()))
+	sum := sha256.Sum256(b.Bytes())
 	fp := hex.EncodeToString(sum[:16])
 	if opaque {
 		// Predicate behaviour is invisible to the hash; pin the instance.

@@ -26,13 +26,14 @@ type Context struct {
 }
 
 // NewContext builds a validation context. sigs may be nil, defaulting to
-// target. It panics if the two schemas do not share a symbol table, because
+// target. It panics if the two schemas do not share a symbol namespace —
+// either the same table or one extending the other via an overlay — because
 // every downstream automaton construction would silently confuse symbols.
 func NewContext(target, sigs *Schema) *Context {
 	if sigs == nil {
 		sigs = target
 	}
-	if target.Table != sigs.Table {
+	if !target.Table.Extends(sigs.Table) && !sigs.Table.Extends(target.Table) {
 		panic("schema: target and signature schemas must share one symbol table")
 	}
 	return &Context{Target: target, Sigs: sigs}
@@ -92,23 +93,36 @@ func matchLetters(r *regex.Regex, letters [][]regex.Symbol) bool {
 	if len(letters) == 0 {
 		return info.Nullable
 	}
-	cur := map[int]bool{}
+	// Dense position sets: positions are small ints (1..len(Classes)), so two
+	// reused bool slices beat a fresh map per letter.
+	cur := make([]bool, len(info.Classes)+1)
+	next := make([]bool, len(info.Classes)+1)
+	alive := false
 	for _, p := range info.First {
 		if contains(info.Classes[p-1], letters[0]) {
 			cur[p] = true
+			alive = true
 		}
 	}
+	if !alive {
+		return false
+	}
 	for _, letter := range letters[1:] {
-		next := map[int]bool{}
-		for p := range cur {
+		clear(next)
+		alive = false
+		for p := 1; p < len(cur); p++ {
+			if !cur[p] {
+				continue
+			}
 			for _, q := range info.Follow[p-1] {
 				if contains(info.Classes[q-1], letter) {
 					next[q] = true
+					alive = true
 				}
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
+		cur, next = next, cur
+		if !alive {
 			return false
 		}
 	}

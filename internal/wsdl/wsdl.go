@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"axml/internal/schema"
+	"axml/internal/xmlio"
 	"axml/internal/xsdint"
 )
 
@@ -75,7 +76,12 @@ func String(d *Description, predNames map[string]string) (string, error) {
 
 // Parse reads a WSDL_int description.
 func Parse(r io.Reader, opt xsdint.Options) (*Description, error) {
-	dec := xml.NewDecoder(r)
+	src, release, err := xmlio.ByteSource(r)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	defer release()
+	dec := xml.NewDecoder(src)
 	d := &Description{}
 	depth := 0
 	for {

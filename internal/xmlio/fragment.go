@@ -1,6 +1,7 @@
 package xmlio
 
 import (
+	"bytes"
 	"encoding/xml"
 	"io"
 	"strings"
@@ -27,9 +28,17 @@ func ParseChildrenAt(dec *xml.Decoder, parent xml.Name) ([]*doc.Node, error) {
 // declaration onto the top element; callers embedding fragments under a root
 // that already declares it pass false.
 func WriteFragment(w io.Writer, n *doc.Node, depth int, declareNS bool) error {
-	p := &printer{w: w}
+	buf := writeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledWriteBuf {
+			writeBufPool.Put(buf)
+		}
+	}()
+	p := &printer{b: buf}
 	p.node(n, depth, declareNS)
-	return p.err
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // Fragment renders one node as an indented string without the declaration.

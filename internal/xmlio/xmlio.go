@@ -19,10 +19,12 @@
 package xmlio
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"axml/internal/doc"
 )
@@ -30,9 +32,74 @@ import (
 // Namespace is the intensional-markup namespace of the Active XML system.
 const Namespace = "http://www.activexml.com/ns/int"
 
+// parseBuf carries a reusable body buffer plus a bytes.Reader view over it;
+// the reader satisfies io.ByteReader, which keeps xml.NewDecoder from
+// wrapping it in a fresh 4 KiB bufio.Reader on every parse — the single
+// largest allocation on the serving hot path before pooling.
+type parseBuf struct {
+	data []byte
+	rd   bytes.Reader
+}
+
+var parseBufPool = sync.Pool{New: func() any { return new(parseBuf) }}
+
+// maxPooledParseBuf bounds what a returned buffer may retain, so one huge
+// request does not pin its memory in the pool forever.
+const maxPooledParseBuf = 1 << 20
+
+// ByteSource adapts r for encoding/xml. Readers that already implement
+// io.ByteReader (strings.Reader, bytes.Reader, bufio.Reader) pass through
+// untouched; anything else — an http request body, typically — is drained
+// into a pooled buffer first. The release func must be called once the parse
+// is finished (decoded tokens are copies, so nothing references the buffer
+// afterwards); err carries any read failure, including the typed
+// *http.MaxBytesError a capped body produces.
+func ByteSource(r io.Reader) (src io.Reader, release func(), err error) {
+	if _, ok := r.(io.ByteReader); ok {
+		return r, func() {}, nil
+	}
+	b := parseBufPool.Get().(*parseBuf)
+	b.data, err = readAll(b.data[:0], r)
+	if err != nil {
+		parseBufPool.Put(b)
+		return nil, nil, err
+	}
+	b.rd.Reset(b.data)
+	return &b.rd, func() {
+		if cap(b.data) <= maxPooledParseBuf {
+			parseBufPool.Put(b)
+		}
+	}, nil
+}
+
+// readAll is io.ReadAll appending into a caller-owned buffer.
+func readAll(buf []byte, r io.Reader) ([]byte, error) {
+	if len(buf) == 0 && cap(buf) == 0 {
+		buf = make([]byte, 0, 512)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 // Parse reads one intensional XML document.
 func Parse(r io.Reader) (*doc.Node, error) {
-	dec := xml.NewDecoder(r)
+	src, release, err := ByteSource(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlio: %w", err)
+	}
+	defer release()
+	dec := xml.NewDecoder(src)
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -182,18 +249,29 @@ func parseParams(dec *xml.Decoder) ([]*doc.Node, error) {
 	}
 }
 
+// writeBufPool recycles serialization buffers: a document is rendered into a
+// pooled bytes.Buffer and flushed to the destination in one Write, so the
+// hot serving path performs no per-node fmt formatting or writer calls.
+var writeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledWriteBuf bounds what a returned buffer may retain.
+const maxPooledWriteBuf = 1 << 20
+
 // Write serializes the document with two-space indentation and an XML
 // declaration.
 func Write(w io.Writer, n *doc.Node) error {
-	if _, err := io.WriteString(w, xml.Header); err != nil {
-		return err
-	}
-	p := &printer{w: w}
+	buf := writeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledWriteBuf {
+			writeBufPool.Put(buf)
+		}
+	}()
+	buf.WriteString(xml.Header)
+	p := &printer{b: buf}
 	p.node(n, 0, n.HasFuncs())
-	if p.err != nil {
-		return p.err
-	}
-	_, err := io.WriteString(w, "\n")
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
 	return err
 }
 
@@ -216,75 +294,108 @@ func MustString(n *doc.Node) string {
 }
 
 type printer struct {
-	w   io.Writer
-	err error
+	b *bytes.Buffer
 }
 
-func (p *printer) printf(format string, args ...any) {
-	if p.err == nil {
-		_, p.err = fmt.Fprintf(p.w, format, args...)
+// indents covers the common nesting depths with precomputed two-space runs.
+const indents = "                                                                "
+
+func (p *printer) indent(depth int) {
+	for n := 2 * depth; n > 0; {
+		step := min(n, len(indents))
+		p.b.WriteString(indents[:step])
+		n -= step
 	}
 }
 
-func (p *printer) escaped(s string) string {
-	var b strings.Builder
-	if err := xml.EscapeText(&b, []byte(s)); err != nil && p.err == nil {
-		p.err = err
+// escape writes s with XML text escaping; documents overwhelmingly carry
+// clean text, so the scan-then-copy fast path avoids touching each rune.
+func (p *printer) escape(s string) {
+	if !strings.ContainsAny(s, "&<>'\"\t\n\r") {
+		p.b.WriteString(s)
+		return
 	}
-	return b.String()
+	_ = xml.EscapeText(p.b, []byte(s))
+}
+
+// attr writes ` name="value"` with attribute-value escaping.
+func (p *printer) attr(name, value string) {
+	p.b.WriteByte(' ')
+	p.b.WriteString(name)
+	p.b.WriteString(`="`)
+	p.escape(value)
+	p.b.WriteByte('"')
+}
+
+func (p *printer) nsDecl(declareNS bool) {
+	if declareNS {
+		p.attr("xmlns:int", Namespace)
+	}
 }
 
 func (p *printer) node(n *doc.Node, depth int, declareNS bool) {
-	indent := strings.Repeat("  ", depth)
 	switch n.Kind {
 	case doc.Text:
-		p.printf("%s%s\n", indent, p.escaped(n.Value))
+		p.indent(depth)
+		p.escape(n.Value)
+		p.b.WriteByte('\n')
 	case doc.Element:
-		ns := ""
-		if declareNS {
-			ns = fmt.Sprintf(" xmlns:int=%q", Namespace)
-		}
+		p.indent(depth)
+		p.b.WriteByte('<')
+		p.b.WriteString(n.Label)
+		p.nsDecl(declareNS)
 		if len(n.Children) == 0 {
-			p.printf("%s<%s%s/>\n", indent, n.Label, ns)
+			p.b.WriteString("/>\n")
 			return
 		}
 		if len(n.Children) == 1 && n.Children[0].Kind == doc.Text {
-			p.printf("%s<%s%s>%s</%s>\n", indent, n.Label, ns, p.escaped(n.Children[0].Value), n.Label)
+			p.b.WriteByte('>')
+			p.escape(n.Children[0].Value)
+			p.b.WriteString("</")
+			p.b.WriteString(n.Label)
+			p.b.WriteString(">\n")
 			return
 		}
-		p.printf("%s<%s%s>\n", indent, n.Label, ns)
+		p.b.WriteString(">\n")
 		for _, c := range n.Children {
 			p.node(c, depth+1, false)
 		}
-		p.printf("%s</%s>\n", indent, n.Label)
+		p.indent(depth)
+		p.b.WriteString("</")
+		p.b.WriteString(n.Label)
+		p.b.WriteString(">\n")
 	case doc.Func:
 		ref := doc.ServiceRef{Method: n.Label}
 		if n.Service != nil {
 			ref = *n.Service
 		}
-		ns := ""
-		if declareNS {
-			ns = fmt.Sprintf(" xmlns:int=%q", Namespace)
-		}
-		attrs := fmt.Sprintf(" methodName=%q", ref.Method)
+		p.indent(depth)
+		p.b.WriteString("<int:fun")
+		p.nsDecl(declareNS)
 		if ref.Endpoint != "" {
-			attrs = fmt.Sprintf(" endpointURL=%q", ref.Endpoint) + attrs
+			p.attr("endpointURL", ref.Endpoint)
 		}
+		p.attr("methodName", ref.Method)
 		if ref.Namespace != "" {
-			attrs += fmt.Sprintf(" namespaceURI=%q", ref.Namespace)
+			p.attr("namespaceURI", ref.Namespace)
 		}
 		if len(n.Children) == 0 {
-			p.printf("%s<int:fun%s%s/>\n", indent, ns, attrs)
+			p.b.WriteString("/>\n")
 			return
 		}
-		p.printf("%s<int:fun%s%s>\n", indent, ns, attrs)
-		p.printf("%s  <int:params>\n", indent)
+		p.b.WriteString(">\n")
+		p.indent(depth + 1)
+		p.b.WriteString("<int:params>\n")
 		for _, c := range n.Children {
-			p.printf("%s    <int:param>\n", indent)
+			p.indent(depth + 2)
+			p.b.WriteString("<int:param>\n")
 			p.node(c, depth+3, false)
-			p.printf("%s    </int:param>\n", indent)
+			p.indent(depth + 2)
+			p.b.WriteString("</int:param>\n")
 		}
-		p.printf("%s  </int:params>\n", indent)
-		p.printf("%s</int:fun>\n", indent)
+		p.indent(depth + 1)
+		p.b.WriteString("</int:params>\n")
+		p.indent(depth)
+		p.b.WriteString("</int:fun>\n")
 	}
 }

@@ -36,6 +36,7 @@ import (
 
 	"axml/internal/regex"
 	"axml/internal/schema"
+	"axml/internal/xmlio"
 )
 
 // XSDNamespace is the XML Schema namespace (accepted but not required).
@@ -59,8 +60,15 @@ func Parse(r io.Reader, opt Options) (*schema.Schema, error) {
 	if table == nil {
 		table = regex.NewTable()
 	}
+	// ByteSource hands the decoder an io.ByteReader so it does not allocate
+	// a bufio.Reader per parse — /exchange parses one schema per request.
+	src, release, err := xmlio.ByteSource(r)
+	if err != nil {
+		return nil, fmt.Errorf("xsdint: %w", err)
+	}
+	defer release()
 	p := &parser{
-		dec:   xml.NewDecoder(r),
+		dec:   xml.NewDecoder(src),
 		s:     schema.NewShared(table),
 		preds: opt.Predicates,
 	}

@@ -56,6 +56,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/store"
 	"axml/internal/telemetry"
 	"axml/internal/wal"
 	"axml/internal/wsdl"
@@ -334,18 +335,63 @@ type (
 	ServiceOperation = service.Operation
 	// ServiceHandler implements an operation.
 	ServiceHandler = service.Handler
-	// Repository stores a peer's named intensional documents.
+	// Repository stores a peer's named intensional documents in memory —
+	// the default DocStore backend.
 	Repository = peer.Repository
 	// DurableRepository is a Repository backed by a write-ahead log and
-	// crash-safe snapshots (see OpenDurable).
+	// crash-safe snapshots (the "wal" backend of OpenStore).
 	DurableRepository = peer.DurableRepository
 	// DurableOptions configures OpenDurable.
+	//
+	// Deprecated: use StoreOptions with OpenStore.
 	DurableOptions = peer.DurableOptions
 	// ConflictPolicy decides what Repository.LoadDirWith does on collision.
 	ConflictPolicy = peer.ConflictPolicy
-	// WALSyncMode selects the WAL fsync discipline for DurableOptions.
+	// WALSyncMode selects the WAL fsync discipline for StoreOptions and
+	// DurableOptions.
 	WALSyncMode = wal.SyncMode
 )
+
+// Storage engine surface (see internal/store and DESIGN.md §11): a DocStore
+// is the pluggable repository behind a Peer, opened through OpenStore with
+// one of three backends — "mem" (in-memory map), "wal" (durable, WAL +
+// crash-safe snapshots) or "disk" (disk-sharded files with an LRU hot cache
+// of decoded documents and a persistent function-node index).
+type (
+	// DocStore is the storage-engine interface; assign one to Peer.Repo.
+	DocStore = store.DocStore
+	// StoreOptions configures OpenStore; Backend selects the engine.
+	StoreOptions = store.Options
+	// StoreStats is the uniform backend report (DocStore.Stats).
+	StoreStats = store.Stats
+	// DiskStoreStats is the disk backend's tiering/sharding section.
+	DiskStoreStats = store.DiskStats
+	// DiskStore is the disk-sharded backend's concrete type.
+	DiskStore = store.Disk
+	// FunctionIndex is the optional capability of backends that index
+	// function nodes: which documents hold a pending call to a function.
+	// Discover with a type assertion on a DocStore.
+	FunctionIndex = store.FunctionIndex
+)
+
+// Storage backend selectors for StoreOptions.Backend.
+const (
+	StoreMem  = store.BackendMem
+	StoreWAL  = store.BackendWAL
+	StoreDisk = store.BackendDisk
+)
+
+// ErrDocumentNotFound is the sentinel reported (wrapped) when a store or
+// peer operation names an absent document. Test with errors.Is.
+var ErrDocumentNotFound = store.ErrNotFound
+
+// OpenStore builds the selected storage backend — the single constructor
+// for every repository flavor. An empty Backend selects "mem".
+func OpenStore(opts StoreOptions) (DocStore, error) { return store.Open(opts) }
+
+// StoreFuncNames lists the distinct function labels embedded in a document,
+// sorted — the record a FunctionIndex maintains per document.
+func StoreFuncNames(d *Node) []string { return store.FuncNames(d) }
 
 // LoadDir conflict policies.
 const (
@@ -366,8 +412,11 @@ func NewPeer(name string, s *Schema) *Peer { return peer.New(name, s) }
 
 // OpenDurable opens (or creates) a durable repository in dir, running crash
 // recovery first: newest valid snapshot plus WAL tail, torn trailing records
-// truncated. Assign the embedded Repository to a Peer to make every mutation
-// path durable; Close writes a final snapshot.
+// truncated. Assign it (or its embedded Repository) to a Peer to make every
+// mutation path durable; Close writes a final snapshot.
+//
+// Deprecated: kept as a thin wrapper so existing callers compile unchanged;
+// use OpenStore with StoreOptions{Backend: StoreWAL, Dir: dir, ...}.
 func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 	return peer.OpenDurable(dir, opts)
 }

@@ -8,6 +8,7 @@
 //	axml-bench -parallel out.json -min-speedup 2  # parallel-engine smoke gate
 //	axml-bench -telemetry out.json -max-overhead 5  # telemetry overhead gate
 //	axml-bench -wal out.json  # durable-repository put cost per WAL sync mode
+//	axml-bench -store out.json  # Put/Get cost per storage backend (mem/wal/disk)
 //
 // Output is deterministic except for wall-clock timings.
 package main
@@ -32,6 +33,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/store"
 	"axml/internal/telemetry"
 	"axml/internal/wal"
 )
@@ -45,6 +47,7 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "benchmark instrumented vs uninstrumented enforcement and write the overhead JSON to this file")
 	maxOverhead := flag.Float64("max-overhead", 0, "with -telemetry: fail if the overhead exceeds this percentage (0 = no gate)")
 	walOut := flag.String("wal", "", "benchmark durable-repository put throughput across WAL sync modes and write the JSON to this file")
+	storeOut := flag.String("store", "", "benchmark Put/Get across storage backends (mem, wal, disk) and write the JSON to this file")
 	flag.Parse()
 
 	if *invokeOut != "" {
@@ -70,6 +73,13 @@ func main() {
 	}
 	if *walOut != "" {
 		if err := benchWAL(*walOut); err != nil {
+			fmt.Fprintln(os.Stderr, "axml-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storeOut != "" {
+		if err := benchStore(*storeOut); err != nil {
 			fmt.Fprintln(os.Stderr, "axml-bench:", err)
 			os.Exit(1)
 		}
@@ -311,7 +321,7 @@ func benchWAL(path string) error {
 		res, err := measure(func(i int) error {
 			return d.Put(fmt.Sprintf("doc%03d", i%128), payload)
 		})
-		st := d.Stats()
+		st := d.Stats().WAL
 		d.Close()
 		os.RemoveAll(dir)
 		if err != nil {
@@ -332,6 +342,112 @@ func benchWAL(path string) error {
 		return err
 	}
 	fmt.Printf("wal benchmark -> %s\n", path)
+	return nil
+}
+
+// benchStore measures what each storage backend charges on the Put and Get
+// paths (E-S1): the same ~330-byte document over 512 rotating names against
+// the in-memory map, the WAL-backed durable repository (sync=none, so the
+// gap is serialization + journalling, not the disk's flush latency), and the
+// disk-sharded backend with a 64-document hot cache — an 8x cold majority,
+// so its Get number prices a realistic fault mix, reported alongside the
+// measured fault rate.
+func benchStore(path string) error {
+	const names = 512
+	payload := doc.Elem("page",
+		doc.Elem("title", doc.TextNode("bench")),
+		doc.Elem("body", doc.TextNode(strings.Repeat("intensional ", 24))))
+	name := func(i int) string { return fmt.Sprintf("doc%03d", i%names) }
+	measure := func(op func(i int) error) (testing.BenchmarkResult, error) {
+		var opErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := op(i); err != nil {
+					opErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		return res, opErr
+	}
+
+	backends := []struct {
+		name string
+		open func(dir string) (store.DocStore, error)
+	}{
+		{store.BackendMem, func(string) (store.DocStore, error) { return store.NewRepository(), nil }},
+		{store.BackendWAL, func(dir string) (store.DocStore, error) {
+			return store.OpenDurable(dir, store.DurableOptions{Sync: wal.SyncNone, SnapshotEvery: 4096})
+		}},
+		{store.BackendDisk, func(dir string) (store.DocStore, error) {
+			return store.OpenDisk(dir, store.DiskOptions{HotCache: 64, Shards: 16})
+		}},
+	}
+	report := map[string]any{
+		"benchmark":           "store-backends",
+		"workload":            fmt.Sprintf("Put then uniform Get of a ~330-byte document over %d rotating names", names),
+		"disk_hot_cache":      64,
+		"generated_by_flag":   "-store",
+		"ns_per_op_unit_note": "lower is better; disk Get prices the fault mix of a 64/512 hot cache",
+	}
+	for _, b := range backends {
+		dir, err := os.MkdirTemp("", "axml-bench-store-")
+		if err != nil {
+			return err
+		}
+		s, err := b.open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		put, err := measure(func(i int) error { return s.Put(name(i), payload) })
+		if err == nil {
+			// Make sure every name exists before the read phase.
+			for i := 0; i < names; i++ {
+				if err = s.Put(name(i), payload); err != nil {
+					break
+				}
+			}
+		}
+		var get testing.BenchmarkResult
+		if err == nil {
+			get, err = measure(func(i int) error {
+				if _, ok := s.Get(name(i)); !ok {
+					return fmt.Errorf("%s: %s vanished", b.name, name(i))
+				}
+				return nil
+			})
+		}
+		st := s.Stats()
+		s.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		report[b.name+"_put_ns_per_op"] = put.NsPerOp()
+		report[b.name+"_get_ns_per_op"] = get.NsPerOp()
+		line := fmt.Sprintf("store benchmark: %-4s put %d ns/op, get %d ns/op", b.name, put.NsPerOp(), get.NsPerOp())
+		if st.Disk != nil {
+			faultRate := 0.0
+			if total := st.Disk.Hits + st.Disk.Faults; total > 0 {
+				faultRate = float64(st.Disk.Faults) / float64(total)
+			}
+			report["disk_fault_rate"] = faultRate
+			report["disk_faults"] = st.Disk.Faults
+			report["disk_hits"] = st.Disk.Hits
+			report["disk_evictions"] = st.Disk.Evictions
+			line += fmt.Sprintf(" (fault rate %.2f, %d evictions)", faultRate, st.Disk.Evictions)
+		}
+		fmt.Println(line)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("store benchmark -> %s\n", path)
 	return nil
 }
 

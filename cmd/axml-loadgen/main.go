@@ -14,6 +14,9 @@
 //	mutation  40% PUT /doc, 30% DELETE /doc (worker-private keys), 30% GET /doc
 //	mixed     45% exchange, 20% GET /doc, 15% PUT /doc, 10% /wsdl, 10% /stats
 //	skewed    70% exchange, 30% GET /doc, documents Zipf-distributed (hot keys)
+//	store     25% PUT /doc, 15% DELETE /doc, 30% GET /doc, 15% GET /docs,
+//	          15% GET /docs/by-function — storage-engine churn for the
+//	          disk backend's tiering and index paths
 //
 // -rate 0 (the default) runs closed-loop: each worker issues its next request
 // as soon as the previous one completes. A positive -rate runs open-loop at
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the peer under load")
-	mix := flag.String("mix", "mixed", `workload mix: exchange, mutation, mixed, skewed, or "all"`)
+	mix := flag.String("mix", "mixed", `workload mix: exchange, mutation, mixed, skewed, store, or "all"`)
 	duration := flag.Duration("duration", 5*time.Second, "measured duration per mix (setup excluded)")
 	concurrency := flag.Int("concurrency", 8, "number of workers")
 	rate := flag.Float64("rate", 0, "aggregate open-loop request rate in req/s (0 = closed loop)")

@@ -10,13 +10,24 @@
 //	POST /exchange/{name}  Figure 1 data exchange: body = XML Schema_int,
 //	                       response = the document rewritten to conform
 //
-// With -data-dir the repository is durable: every mutation is framed into a
-// write-ahead log under that directory before it is acknowledged (-wal-sync
-// chooses the fsync discipline), the log is compacted into crash-safe
-// snapshots every -snapshot-every mutations, and boot runs crash recovery —
-// newest valid snapshot plus WAL tail, torn trailing records truncated. On
-// SIGINT/SIGTERM the daemon drains in-flight requests and writes a final
-// snapshot before exiting.
+// The repository is a pluggable storage engine selected by -store:
+//
+//	-store mem   in-memory map (the default without -data-dir)
+//	-store wal   durable: every mutation is framed into a write-ahead log
+//	             under -data-dir before it is acknowledged (-wal-sync
+//	             chooses the fsync discipline), the log is compacted into
+//	             crash-safe snapshots every -snapshot-every mutations, and
+//	             boot runs crash recovery — newest valid snapshot plus WAL
+//	             tail, torn trailing records truncated. -data-dir alone
+//	             implies -store wal.
+//	-store disk  disk-sharded: documents live as files across hashed shard
+//	             directories under -data-dir with an LRU hot cache of
+//	             -hot-cache decoded documents (cold reads fault lazily) and
+//	             a persistent per-shard function-node index serving
+//	             GET /docs/by-function/{fn}.
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests and closes the
+// store (writing a final snapshot under -store wal) before exiting.
 //
 // Outbound service calls made by enforcement rewritings run through the
 // invocation policy chain configured by -call-timeout, -retries,
@@ -59,6 +70,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/store"
 	"axml/internal/telemetry"
 	"axml/internal/wal"
 	"axml/internal/workload"
@@ -123,13 +135,11 @@ func run(p *peer.Peer, opts options) int {
 			exit = 1
 		}
 	}
-	if p.Durable != nil {
-		if err := p.Durable.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "axmld: final snapshot:", err)
-			exit = 1
-		} else {
-			log.Printf("final snapshot written")
-		}
+	if err := p.Repo.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "axmld: closing store:", err)
+		exit = 1
+	} else if p.Durable != nil {
+		log.Printf("final snapshot written")
 	}
 	return exit
 }
@@ -198,7 +208,10 @@ func configure(args []string) (*peer.Peer, options, error) {
 	idleTimeout := fs.Duration("idle-timeout", defaultIdleTimeout, "max keep-alive idle time between requests (0 disables)")
 	telemetryOn := fs.Bool("telemetry", true, "serve /metrics and /debug/traces and instrument the pipeline")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. :6060; empty disables)")
-	dataDir := fs.String("data-dir", "", "durable repository directory (WAL + snapshots); empty keeps documents in memory only")
+	storeBackend := fs.String("store", "", "storage backend: mem | wal | disk (default: wal when -data-dir is set, else mem)")
+	hotCache := fs.Int("hot-cache", store.DefaultHotCache, "disk backend: decoded documents kept hot in memory (must be positive)")
+	shards := fs.Int("shards", store.DefaultShards, "disk backend: shard directory count (must be positive)")
+	dataDir := fs.String("data-dir", "", "store directory for the wal and disk backends; empty keeps documents in memory only")
 	walSync := fs.String("wal-sync", "always", "WAL fsync discipline: always | interval | none")
 	walSyncInterval := fs.Duration("wal-sync-interval", wal.DefaultSyncInterval, "background fsync period when -wal-sync=interval")
 	snapshotEvery := fs.Int("snapshot-every", 1024, "compact the WAL into a snapshot after this many mutations (0 = only at shutdown)")
@@ -261,6 +274,30 @@ func configure(args []string) (*peer.Peer, options, error) {
 	if *snapshotEvery < 0 {
 		return nil, options{}, fmt.Errorf("-snapshot-every must not be negative, got %d", *snapshotEvery)
 	}
+	if *hotCache <= 0 {
+		return nil, options{}, fmt.Errorf("-hot-cache must be positive, got %d", *hotCache)
+	}
+	if *shards <= 0 || *shards > store.MaxShards {
+		return nil, options{}, fmt.Errorf("-shards must be in 1..%d, got %d", store.MaxShards, *shards)
+	}
+	backend := *storeBackend
+	switch backend {
+	case "":
+		backend = store.BackendMem
+		if *dataDir != "" {
+			backend = store.BackendWAL // historical behavior of -data-dir
+		}
+	case store.BackendMem:
+		if *dataDir != "" {
+			return nil, options{}, fmt.Errorf("-store mem does not use -data-dir %q; pick wal or disk", *dataDir)
+		}
+	case store.BackendWAL, store.BackendDisk:
+		if *dataDir == "" {
+			return nil, options{}, fmt.Errorf("-store %s requires -data-dir", backend)
+		}
+	default:
+		return nil, options{}, fmt.Errorf("bad -store %q (want one of %v)", backend, store.Backends)
+	}
 	s, err := loadSchema(*schemaPath)
 	if err != nil {
 		return nil, options{}, err
@@ -295,29 +332,41 @@ func configure(args []string) (*peer.Peer, options, error) {
 		p.Telemetry = telemetry.NewRegistry()
 	}
 
-	if *dataDir != "" {
-		d, err := peer.OpenDurable(*dataDir, peer.DurableOptions{
+	if backend != store.BackendMem {
+		st, err := store.Open(store.Options{
+			Backend:       backend,
+			Dir:           *dataDir,
 			Sync:          syncMode,
 			SyncInterval:  *walSyncInterval,
 			SnapshotEvery: *snapshotEvery,
-			Metrics:       wal.NewMetrics(p.Telemetry),
+			HotCache:      *hotCache,
+			Shards:        *shards,
+			Registry:      p.Telemetry,
 		})
 		if err != nil {
 			return nil, options{}, err
 		}
-		p.Repo = d.Repository
-		p.Durable = d
-		st := d.Stats()
-		log.Printf("durable repository %s: recovered %d documents (replayed %d WAL records, truncated %d torn)",
-			*dataDir, st.RecoveredDocuments, st.RecoveryReplayed, st.RecoveryTruncated)
+		p.Repo = st
+		switch s := st.(type) {
+		case *store.DurableRepository:
+			p.Durable = s
+			ds := s.Stats()
+			log.Printf("durable repository %s: recovered %d documents (replayed %d WAL records, truncated %d torn)",
+				*dataDir, ds.RecoveredDocuments, ds.WAL.RecoveryReplayed, ds.WAL.RecoveryTruncated)
+		case *store.Disk:
+			ds := s.Stats()
+			log.Printf("disk store %s: %d documents across %d shards (%d index repairs, hot cache %d)",
+				*dataDir, ds.Documents, ds.Disk.Shards, ds.Disk.IndexRepairs, ds.Disk.HotCacheCap)
+		}
 	}
-	// Seeding happens after recovery, and LoadDir keeps existing documents:
-	// WAL-recovered state always wins over the -docs seed directory.
+	// Seeding happens after recovery under KeepExisting: recovered (or
+	// on-disk) state always wins over the -docs seed directory.
 	if *docsDir != "" {
-		if err := p.Repo.LoadDir(*docsDir); err != nil {
+		loaded, err := store.SeedDir(p.Repo, *docsDir, store.KeepExisting)
+		if err != nil {
 			return nil, options{}, err
 		}
-		log.Printf("loaded %d documents from %s", p.Repo.Len(), *docsDir)
+		log.Printf("loaded %d documents from %s (%d total)", loaded, *docsDir, p.Repo.Len())
 	}
 	if *simSeed >= 0 {
 		sim := workload.NewSimInvoker(s, rand.New(rand.NewSource(*simSeed)))

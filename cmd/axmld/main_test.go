@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"axml/internal/doc"
+	"axml/internal/store"
 )
 
 func writeSchema(t *testing.T) string {
@@ -129,7 +130,7 @@ func TestConfigureDurable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Durable == nil || p.Repo != p.Durable.Repository {
+	if p.Durable == nil || p.Repo != store.DocStore(p.Durable) {
 		t.Fatal("-data-dir did not install the durable repository")
 	}
 	if err := p.Repo.Put("note", doc.Elem("note", doc.TextNode("recovered"))); err != nil {

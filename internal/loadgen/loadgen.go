@@ -26,16 +26,18 @@ import (
 
 // Handler label values, matching the server's telemetry instrumentation.
 const (
-	handlerExchange = "exchange"
-	handlerDoc      = "doc"
-	handlerWSDL     = "wsdl"
-	handlerStats    = "stats"
+	handlerExchange       = "exchange"
+	handlerDoc            = "doc"
+	handlerWSDL           = "wsdl"
+	handlerStats          = "stats"
+	handlerDocs           = "docs"
+	handlerDocsByFunction = "docs_by_function"
 )
 
-var handlerNames = []string{handlerExchange, handlerDoc, handlerWSDL, handlerStats}
+var handlerNames = []string{handlerExchange, handlerDoc, handlerWSDL, handlerStats, handlerDocs, handlerDocsByFunction}
 
 // Mixes are the supported workload mix names.
-var Mixes = []string{"exchange", "mutation", "mixed", "skewed"}
+var Mixes = []string{"exchange", "mutation", "mixed", "skewed", "store"}
 
 // Config parameterizes one load-generation run.
 type Config struct {
@@ -43,7 +45,9 @@ type Config struct {
 	BaseURL string
 	// Mix selects the workload: exchange (rewrite-heavy), mutation
 	// (PUT/DELETE-heavy), mixed (intensional + extensional + introspection),
-	// or skewed (exchange traffic with Zipf-distributed hot keys).
+	// skewed (exchange traffic with Zipf-distributed hot keys), or store
+	// (storage-engine churn: mutations plus /docs pagination and
+	// /docs/by-function index lookups).
 	Mix string
 	// Duration bounds the measured run (setup excluded). Default 5s.
 	Duration time.Duration
@@ -120,6 +124,7 @@ type Runner struct {
 	identity []byte   // identity exchange schema, rendered from the peer's own
 	bodies   [][]byte // rendered conforming documents, reused as PUT payloads
 	popNames []string // names of the PUT population (ldg-0000 ...)
+	funcName string   // a function declared by the peer's schema, for /docs/by-function
 	hists    map[string]*hist
 }
 
@@ -150,6 +155,9 @@ func (r *Runner) setup(ctx context.Context) error {
 		return fmt.Errorf("loadgen: render identity schema: %w", err)
 	}
 	r.identity = []byte(identity)
+	if funcs := desc.Schema.SortedFuncs(); len(funcs) > 0 {
+		r.funcName = funcs[0]
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gen := workload.NewGenerator(desc.Schema, rng)
@@ -283,6 +291,10 @@ func (r *Runner) mixOps() ([]weightedOp, error) {
 	deletePrivate := func(w *worker) { w.do(http.MethodDelete, "/doc/"+w.key, nil, handlerDoc) }
 	getWSDL := func(w *worker) { w.do(http.MethodGet, "/wsdl", nil, handlerWSDL) }
 	getStats := func(w *worker) { w.do(http.MethodGet, "/stats", nil, handlerStats) }
+	listDocs := func(w *worker) { w.do(http.MethodGet, "/docs?limit=50", nil, handlerDocs) }
+	byFunction := func(w *worker) {
+		w.do(http.MethodGet, "/docs/by-function/"+r.funcName, nil, handlerDocsByFunction)
+	}
 	uniform := func(w *worker) string { return w.pickUniform() }
 	skewed := func(w *worker) string { return w.pickSkewed() }
 
@@ -295,6 +307,11 @@ func (r *Runner) mixOps() ([]weightedOp, error) {
 		return []weightedOp{{45, exchange(uniform)}, {20, get(uniform)}, {15, putPrivate}, {10, getWSDL}, {10, getStats}}, nil
 	case "skewed":
 		return []weightedOp{{70, exchange(skewed)}, {30, get(skewed)}}, nil
+	case "store":
+		if r.funcName == "" {
+			return nil, fmt.Errorf("loadgen: the store mix needs a schema-declared function for /docs/by-function")
+		}
+		return []weightedOp{{25, putPrivate}, {15, deletePrivate}, {30, get(uniform)}, {15, listDocs}, {15, byFunction}}, nil
 	default:
 		return nil, fmt.Errorf("loadgen: unknown mix %q (want one of %v)", r.cfg.Mix, Mixes)
 	}

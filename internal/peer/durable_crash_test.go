@@ -147,7 +147,7 @@ func assertCrashState(t *testing.T, rec *DurableRepository, acked int) {
 			}
 		}
 	}
-	if st := rec.Stats(); st.RecoveryTruncated > 1 {
-		t.Errorf("recovery truncated %d records; a single kill can tear at most one tail", st.RecoveryTruncated)
+	if st := rec.Stats(); st.WAL.RecoveryTruncated > 1 {
+		t.Errorf("recovery truncated %d records; a single kill can tear at most one tail", st.WAL.RecoveryTruncated)
 	}
 }

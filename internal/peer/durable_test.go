@@ -87,7 +87,7 @@ func TestDurableRecoveryFromWALTailOnly(t *testing.T) {
 	if _, ok := d.Get("doc05"); ok {
 		t.Error("deleted document resurrected")
 	}
-	if st := d.Stats(); st.RecoveryReplayed != 21 || st.RecoveryTruncated != 0 {
+	if st := d.Stats(); st.WAL.RecoveryReplayed != 21 || st.WAL.RecoveryTruncated != 0 {
 		t.Errorf("recovery stats = %+v", st)
 	}
 }
@@ -103,17 +103,17 @@ func TestDurableAutoCompaction(t *testing.T) {
 	// The compactor runs off the mutation path; give it time to take the
 	// kick before Close writes the final snapshot.
 	deadline := time.Now().Add(5 * time.Second)
-	for d.Stats().Snapshots == 0 && time.Now().Before(deadline) {
+	for d.Stats().WAL.Snapshots == 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
-	if st := d.Stats(); st.Snapshots == 0 {
+	if st := d.Stats(); st.WAL.Snapshots == 0 {
 		t.Errorf("no automatic compaction after 50 mutations with SnapshotEvery=8 (stats %+v)", st)
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if st := d.Stats(); st.Snapshots < 2 {
-		t.Errorf("expected automatic + final compactions, got %d snapshots (stats %+v)", st.Snapshots, st)
+	if st := d.Stats(); st.WAL.Snapshots < 2 {
+		t.Errorf("expected automatic + final compactions, got %d snapshots (stats %+v)", st.WAL.Snapshots, st)
 	}
 	d2 := openDurable(t, dir, DurableOptions{})
 	if d2.Len() != 10 {

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"axml/internal/core"
 	"axml/internal/soap"
+	"axml/internal/store"
 	"axml/internal/telemetry"
+	"axml/internal/wal"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
 	"axml/internal/xsdint"
@@ -24,6 +27,12 @@ import (
 //	GET  /doc/{name}       — a repository document, as stored (intensional)
 //	PUT  /doc/{name}       — store the request body as the named document
 //	DELETE /doc/{name}     — remove the named document (idempotent)
+//	GET  /docs             — paginated document-name listing
+//	                         (?limit=, ?after= cursor), as JSON
+//	GET  /docs/by-function/{fn}
+//	                       — names of documents embedding a pending call to
+//	                         fn, answered from the store's function index
+//	                         when the backend maintains one
 //	POST /exchange/{name}  — the Figure 1 scenario: the request body is an
 //	                         XML Schema_int exchange schema; the response is
 //	                         the document rewritten to conform to it.
@@ -50,6 +59,8 @@ func (p *Peer) Handler() http.Handler {
 	})
 	handle("/wsdl", "wsdl", http.HandlerFunc(p.handleWSDL))
 	handle("/doc/", "doc", http.HandlerFunc(p.handleDoc))
+	handle("/docs", "docs", http.HandlerFunc(p.handleDocs))
+	handle("/docs/by-function/", "docs_by_function", http.HandlerFunc(p.handleDocsByFunction))
 	handle("/exchange/", "exchange", http.HandlerFunc(p.handleExchange))
 	handle("/stats", "stats", http.HandlerFunc(p.handleStats))
 	if p.Telemetry != nil {
@@ -70,47 +81,145 @@ func (p *Peer) handleWSDL(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// writeError emits the document API's uniform JSON error shape:
+// {"error": message, "code": status}.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "code": status})
+}
+
 // handleDoc serves GET (the stored intensional document), and — so that a
 // durable daemon can be driven entirely over HTTP — PUT (store the request
 // body as the named document) and DELETE. With a durability layer installed
 // a 2xx answer means the mutation is journaled: a WAL append failure surfaces
-// as 500 and the repository is unchanged.
+// as 500 and the repository is unchanged. Errors are JSON {error, code}.
 func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/doc/")
 	switch r.Method {
 	case http.MethodGet:
 		d, ok := p.Repo.Get(name)
 		if !ok {
-			http.Error(w, fmt.Sprintf("no document %q", name), http.StatusNotFound)
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no document %q", name))
 			return
 		}
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 		_ = xmlio.Write(w, d)
 	case http.MethodPut:
 		if err := ValidateDocName(name); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		body := p.limitBody(w, r)
 		d, err := xmlio.Parse(body)
 		if err != nil {
-			http.Error(w, err.Error(), body.errorStatus(err))
+			writeError(w, body.errorStatus(err), err.Error())
 			return
 		}
 		if err := p.Repo.Put(name, d); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodDelete:
 		if err := p.Repo.Delete(name); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
-		http.Error(w, "GET, PUT or DELETE only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "GET, PUT or DELETE only")
 	}
+}
+
+// docsPageLimit bounds one /docs page; requests above it are clamped.
+const docsPageLimit = 1000
+
+// handleDocs lists stored document names as one JSON page:
+//
+//	GET /docs?limit=100&after=<cursor>
+//
+// The response carries the page ("documents"), the total store size
+// ("total") and, when further names exist, a "next" cursor — the last name
+// of the page, to be passed back as ?after=.
+func (p *Peer) handleDocs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	limit := store.DefaultScanLimit
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("limit must be a positive integer, got %q", s))
+			return
+		}
+		limit = min(n, docsPageLimit)
+	}
+	after := r.URL.Query().Get("after")
+	names, more, err := p.Repo.Scan(after, limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := map[string]any{
+		"documents": names,
+		"count":     len(names),
+		"total":     p.Repo.Len(),
+	}
+	if more && len(names) > 0 {
+		resp["next"] = names[len(names)-1]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleDocsByFunction answers "which documents hold a pending call to this
+// function" — from the store's function index when the backend maintains
+// one (no document is parsed), by walking documents otherwise. The
+// "indexed" field reports which path served the answer.
+func (p *Peer) handleDocsByFunction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	fname := strings.TrimPrefix(r.URL.Path, "/docs/by-function/")
+	if fname == "" || strings.Contains(fname, "/") {
+		writeError(w, http.StatusBadRequest, "want /docs/by-function/{function}")
+		return
+	}
+	fi, indexed := p.Repo.(store.FunctionIndex)
+	var names []string
+	if indexed {
+		var err error
+		if names, err = fi.DocsWithFunction(fname); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	} else {
+		for _, name := range p.Repo.Names() {
+			d, ok := p.Repo.Get(name)
+			if !ok {
+				continue // deleted between Names and Get
+			}
+			for _, fn := range store.FuncNames(d) {
+				if fn == fname {
+					names = append(names, name)
+					break
+				}
+			}
+		}
+	}
+	if names == nil {
+		names = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"function":  fname,
+		"documents": names,
+		"count":     len(names),
+		"indexed":   indexed,
+	})
 }
 
 func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
@@ -148,7 +257,7 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 	out, err := p.SendDocumentContext(r.Context(), name, exchange, mode)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
-		if strings.Contains(err.Error(), "no document") {
+		if errors.Is(err, store.ErrNotFound) {
 			status = http.StatusNotFound
 		}
 		http.Error(w, err.Error(), status)
@@ -221,9 +330,17 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		compiled = registryCacheStats(reg, "axml_compile_cache", compiled)
 		words = registryCacheStats(reg, "axml_word_cache", words)
 	}
+	storeStats := p.Repo.Stats()
+	if p.Durable != nil {
+		// Legacy wiring points Repo at the embedded in-memory layer
+		// (p.Repo = d.Repository); the durability wrapper knows the
+		// whole truth either way.
+		storeStats = p.Durable.Stats()
+	}
 	stats := map[string]any{
 		"peer":          p.Name,
-		"documents":     p.Repo.Len(),
+		"documents":     storeStats.Documents,
+		"store":         storeStats,
 		"compile_cache": compiled,
 		"word_cache":    words,
 		"invocations":   p.Audit.Len(),
@@ -231,7 +348,14 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"telemetry":     p.Telemetry != nil,
 	}
 	if p.Durable != nil {
-		stats["wal"] = p.Durable.Stats()
+		// The historical flat "wal" object is preserved for existing
+		// consumers; "store" is the uniform view.
+		ds := p.Durable.Stats()
+		stats["wal"] = struct {
+			*wal.Stats
+			RecoveredDocuments int `json:"recovered_documents"`
+			SnapshotEvery      int `json:"snapshot_every"`
+		}{ds.WAL, ds.RecoveredDocuments, ds.SnapshotEvery}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(stats)

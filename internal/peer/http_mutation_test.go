@@ -92,7 +92,13 @@ func TestHTTPDurablePeer(t *testing.T) {
 
 	resp := doReq(t, http.MethodGet, ts.URL+"/stats", "")
 	var stats struct {
-		WAL *DurabilityStats `json:"wal"`
+		// The "wal" object keeps the historical flat shape: wal.Stats
+		// fields plus recovery facts at the top level.
+		WAL   *wal.Stats `json:"wal"`
+		Store *struct {
+			Backend   string `json:"backend"`
+			Documents int    `json:"documents"`
+		} `json:"store"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -100,6 +106,9 @@ func TestHTTPDurablePeer(t *testing.T) {
 	resp.Body.Close()
 	if stats.WAL == nil || stats.WAL.Appends != 3 {
 		t.Errorf("/stats wal = %+v, want 3 appends", stats.WAL)
+	}
+	if stats.Store == nil || stats.Store.Backend != "wal" || stats.Store.Documents != 1 {
+		t.Errorf("/stats store = %+v, want wal backend with 1 document", stats.Store)
 	}
 	ts.Close()
 	if err := d.Close(); err != nil {

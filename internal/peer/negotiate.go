@@ -39,7 +39,7 @@ type Agreement struct {
 func (p *Peer) Negotiate(docName string, proposals []Proposal) (*Agreement, error) {
 	d, ok := p.Repo.Get(docName)
 	if !ok {
-		return nil, fmt.Errorf("peer %s: no document %q", p.Name, docName)
+		return nil, fmt.Errorf("peer %s: no document %q: %w", p.Name, docName, ErrNotFound)
 	}
 	// Tier 1: already an instance.
 	for _, prop := range proposals {

@@ -11,6 +11,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
+	"axml/internal/store"
 	"axml/internal/telemetry"
 	"axml/internal/wsdl"
 )
@@ -22,8 +23,9 @@ type Peer struct {
 	// signatures of every function its documents embed or its registry
 	// provides.
 	Schema *schema.Schema
-	// Repo stores the peer's intensional documents.
-	Repo *Repository
+	// Repo stores the peer's intensional documents. Any storage backend
+	// works (see internal/store); New installs an in-memory Repository.
+	Repo store.DocStore
 	// Services are the operations this peer provides.
 	Services *service.Registry
 	// K is the rewriting depth bound used by enforcement.
@@ -64,9 +66,9 @@ type Peer struct {
 	// before the peer serves traffic.
 	Telemetry *telemetry.Registry
 	// Durable, if set, is the durability layer behind Repo (Repo ==
-	// Durable.Repository): Handler then accepts PUT/DELETE on /doc/{name}
-	// and /stats reports WAL counters. The daemon closes it on shutdown for
-	// a final snapshot. Nil keeps the repository purely in-memory.
+	// Durable or Repo == Durable.Repository): /stats then reports WAL
+	// counters and the daemon closes it on shutdown for a final snapshot.
+	// Nil means Repo is not WAL-backed (in-memory or disk-sharded).
 	Durable *DurableRepository
 
 	invOnce sync.Once
@@ -156,7 +158,7 @@ func (p *Peer) SendDocument(name string, exchange *schema.Schema, mode core.Mode
 func (p *Peer) SendDocumentContext(ctx context.Context, name string, exchange *schema.Schema, mode core.Mode) (*doc.Node, error) {
 	d, ok := p.Repo.Get(name)
 	if !ok {
-		return nil, fmt.Errorf("peer %s: no document %q", p.Name, name)
+		return nil, fmt.Errorf("peer %s: no document %q: %w", p.Name, name, store.ErrNotFound)
 	}
 	rw := p.rewriter(exchange)
 	out, err := rw.RewriteDocumentContext(ctx, d, mode)
@@ -332,7 +334,7 @@ func (p *Peer) DefineQueryService(name, in, out string, q Query) error {
 	handler := func(params []*doc.Node) ([]*doc.Node, error) {
 		root, ok := p.Repo.Get(q.Doc)
 		if !ok {
-			return nil, fmt.Errorf("peer %s: query service %q: no document %q", p.Name, name, q.Doc)
+			return nil, fmt.Errorf("peer %s: query service %q: no document %q: %w", p.Name, name, q.Doc, store.ErrNotFound)
 		}
 		nodes := []*doc.Node{root}
 		for _, label := range q.Path {

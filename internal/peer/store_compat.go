@@ -1,0 +1,53 @@
+// Package peer implements an Active XML peer (Section 7 of the paper): a
+// repository of intensional documents, services defined over the repository,
+// SOAP exchange with other peers, and the *Schema Enforcement* module, which
+// applies the safe/possible/mixed rewriting algorithms of internal/core to
+// every document sent, every parameter list received, and every result
+// returned.
+//
+// The repository itself lives in internal/store (the pluggable storage
+// engine); this file keeps the historical peer.* names working as thin
+// aliases so existing callers compile unchanged. New code should use
+// internal/store (or the axml facade's OpenStore) directly.
+package peer
+
+import "axml/internal/store"
+
+// Storage types, re-exported from internal/store.
+//
+// Deprecated: use the store package (store.Repository and friends) or the
+// axml facade's OpenStore.
+type (
+	// Repository is the in-memory document store.
+	Repository = store.Repository
+	// DurableRepository is the WAL-backed durable store.
+	DurableRepository = store.DurableRepository
+	// DurableOptions configures OpenDurable.
+	DurableOptions = store.DurableOptions
+	// ConflictPolicy decides what LoadDir does on a name collision.
+	ConflictPolicy = store.ConflictPolicy
+)
+
+// LoadDir conflict policies.
+const (
+	KeepExisting   = store.KeepExisting
+	Overwrite      = store.Overwrite
+	FailOnConflict = store.FailOnConflict
+)
+
+// ErrNotFound is the sentinel reported (wrapped) when an operation names a
+// document the repository does not hold. Test with errors.Is.
+var ErrNotFound = store.ErrNotFound
+
+// NewRepository returns an empty in-memory repository.
+func NewRepository() *Repository { return store.NewRepository() }
+
+// OpenDurable opens (or creates) the durable repository stored in dir.
+//
+// Deprecated: use store.Open with Backend "wal" (or axml.OpenStore).
+func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
+	return store.OpenDurable(dir, opts)
+}
+
+// ValidateDocName rejects names that cannot safely become file names.
+func ValidateDocName(name string) error { return store.ValidateDocName(name) }

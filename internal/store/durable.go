@@ -1,4 +1,4 @@
-package peer
+package store
 
 import (
 	"fmt"
@@ -18,10 +18,10 @@ import (
 // and recovery at Open loads the newest valid snapshot, replays the WAL
 // tail, and truncates any torn final record.
 //
-// The embedded *Repository is the live repository: hand it to a Peer
-// (p.Repo = d.Repository) and every mutation path — HTTP PUT/DELETE on
-// /doc/{name}, Materialize, negotiation — becomes durable with no further
-// wiring.
+// The embedded *Repository is the live repository: hand it (or the
+// DurableRepository itself — both satisfy DocStore) to a Peer and every
+// mutation path — HTTP PUT/DELETE on /doc/{name}, Materialize, negotiation —
+// becomes durable with no further wiring.
 type DurableRepository struct {
 	*Repository
 
@@ -79,11 +79,11 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 			// itself was never a valid document. Refuse to silently drop
 			// state.
 			log.Close()
-			return nil, fmt.Errorf("peer: recovering %q: %w", name, err)
+			return nil, fmt.Errorf("store: recovering %q: %w", name, err)
 		}
 		if err := repo.Put(name, d); err != nil {
 			log.Close()
-			return nil, fmt.Errorf("peer: recovering %q: %w", name, err)
+			return nil, fmt.Errorf("store: recovering %q: %w", name, err)
 		}
 	}
 	d := &DurableRepository{
@@ -111,18 +111,18 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 // acknowledged. d == nil encodes a delete.
 func (r *DurableRepository) journalMutation(name string, n *doc.Node) error {
 	if r.closed.Load() {
-		return fmt.Errorf("peer: durable repository is closed")
+		return fmt.Errorf("store: durable repository: %w", ErrClosed)
 	}
 	op, data := wal.OpDelete, []byte(nil)
 	if n != nil {
 		s, err := xmlio.String(n)
 		if err != nil {
-			return fmt.Errorf("peer: journaling %q: %w", name, err)
+			return fmt.Errorf("store: journaling %q: %w", name, err)
 		}
 		op, data = wal.OpPut, []byte(s)
 	}
 	if err := r.log.Append(op, name, data); err != nil {
-		return fmt.Errorf("peer: journaling %q: %w", name, err)
+		return fmt.Errorf("store: journaling %q: %w", name, err)
 	}
 	if r.snapEvery > 0 && r.pending.Add(1) >= int64(r.snapEvery) {
 		select {
@@ -183,7 +183,7 @@ func (r *DurableRepository) Snapshot() error {
 	for name, d := range capture {
 		s, err := xmlio.String(d)
 		if err != nil {
-			return fmt.Errorf("peer: snapshotting %q: %w", name, err)
+			return fmt.Errorf("store: snapshotting %q: %w", name, err)
 		}
 		enc[name] = []byte(s)
 	}
@@ -191,7 +191,7 @@ func (r *DurableRepository) Snapshot() error {
 }
 
 // Close writes a final snapshot and closes the WAL. Mutations attempted
-// after Close fail; Close is idempotent.
+// after Close fail; reads keep working. Close is idempotent.
 func (r *DurableRepository) Close() error {
 	if r.closed.Swap(true) {
 		return nil
@@ -211,18 +211,14 @@ func (r *DurableRepository) Close() error {
 	return cerr
 }
 
-// DurabilityStats is the /stats (and logging) view of the durability layer.
-type DurabilityStats struct {
-	wal.Stats
-	RecoveredDocuments int `json:"recovered_documents"`
-	SnapshotEvery      int `json:"snapshot_every"`
-}
-
-// Stats reports WAL counters plus recovery facts.
-func (r *DurableRepository) Stats() DurabilityStats {
-	return DurabilityStats{
-		Stats:              r.log.Stats(),
-		RecoveredDocuments: r.recoveredDocs,
-		SnapshotEvery:      r.snapEvery,
-	}
+// Stats reports the durable backend counters: WAL state plus recovery facts
+// over the embedded repository's document and index counts.
+func (r *DurableRepository) Stats() Stats {
+	st := r.Repository.Stats()
+	st.Backend = BackendWAL
+	walStats := r.log.Stats()
+	st.WAL = &walStats
+	st.RecoveredDocuments = r.recoveredDocs
+	st.SnapshotEvery = r.snapEvery
+	return st
 }

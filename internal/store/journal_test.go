@@ -1,0 +1,61 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"axml/internal/doc"
+)
+
+// The journal hook is the durability seam: a journal error must abort the
+// mutation before it commits, so "acknowledged" always implies "logged".
+// This pins the retention half of that contract on the in-memory layer the
+// durable backend builds on (the hook itself is unexported, hence the
+// in-package test).
+func TestJournalErrorRetainsState(t *testing.T) {
+	r := NewRepository()
+	if err := r.Put("memo", doc.Elem("memo", doc.TextNode("v1"))); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	var journaled []string
+	r.journal = func(name string, d *doc.Node) error {
+		journaled = append(journaled, name)
+		return boom
+	}
+
+	if err := r.Put("memo", doc.Elem("memo", doc.TextNode("v2"))); !errors.Is(err, boom) {
+		t.Errorf("Put with failing journal = %v, want the journal error", err)
+	}
+	if d, _ := r.Get("memo"); d.Children[0].Value != "v1" {
+		t.Errorf("unjournaled Put committed: %v", d)
+	}
+	err := r.Update("memo", func(d *doc.Node) (*doc.Node, error) {
+		d.Children[0].Value = "v2"
+		return d, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Update with failing journal = %v, want the journal error", err)
+	}
+	if d, _ := r.Get("memo"); d.Children[0].Value != "v1" {
+		t.Errorf("unjournaled Update committed: %v", d)
+	}
+	if err := r.Delete("memo"); !errors.Is(err, boom) {
+		t.Errorf("Delete with failing journal = %v, want the journal error", err)
+	}
+	if _, ok := r.Get("memo"); !ok {
+		t.Error("unjournaled Delete committed")
+	}
+	// The function index must not drift either: the retained document
+	// still answers for its calls, and nothing new was indexed.
+	if len(journaled) != 3 {
+		t.Errorf("journal observed %d mutations, want 3", len(journaled))
+	}
+
+	// With the hook healthy again, mutations flow.
+	r.journal = func(string, *doc.Node) error { return nil }
+	if err := r.Put("memo", doc.Elem("memo", doc.TextNode("v3"))); err != nil {
+		t.Errorf("Put after journal recovery = %v", err)
+	}
+}

@@ -1,10 +1,4 @@
-// Package peer implements an Active XML peer (Section 7 of the paper): a
-// repository of intensional documents, services defined over the repository,
-// SOAP exchange with other peers, and the *Schema Enforcement* module, which
-// applies the safe/possible/mixed rewriting algorithms of internal/core to
-// every document sent, every parameter list received, and every result
-// returned.
-package peer
+package store
 
 import (
 	"fmt"
@@ -19,40 +13,87 @@ import (
 	"axml/internal/xmlio"
 )
 
-// Repository stores named intensional documents. It is safe for concurrent
-// use; documents are cloned on the way in and out so that callers can never
-// mutate stored state behind the lock — stored nodes are immutable once the
-// mutating call returns, which is what lets DurableRepository snapshot the
-// map with a shallow copy.
+// Repository is the in-memory DocStore: a map of named intensional
+// documents. It is safe for concurrent use; documents are cloned on the way
+// in and out so that callers can never mutate stored state behind the lock —
+// stored nodes are immutable once the mutating call returns, which is what
+// lets DurableRepository snapshot the map with a shallow copy.
+//
+// Every mutation also maintains the function index (see FunctionIndex):
+// which documents embed which function labels.
 type Repository struct {
-	mu   sync.RWMutex
-	docs map[string]*doc.Node
+	mu     sync.RWMutex
+	docs   map[string]*doc.Node
+	closed bool
 	// journal, when set, observes every mutation under the write lock,
 	// before it commits: a journal error aborts the mutation, so an
 	// acknowledged mutation is exactly a logged one. d is the node the
 	// repository is about to own (nil for deletes); the journal must not
 	// retain or mutate it. Installed by DurableRepository.
 	journal func(name string, d *doc.Node) error
+
+	// Function index, maintained at the commit point of every mutation:
+	// docFuncs records each document's distinct function labels, byFunc is
+	// the inverted map answering DocsWithFunction.
+	docFuncs map[string][]string
+	byFunc   map[string]map[string]struct{}
 }
 
 // NewRepository returns an empty repository.
 func NewRepository() *Repository {
-	return &Repository{docs: make(map[string]*doc.Node)}
+	return &Repository{
+		docs:     make(map[string]*doc.Node),
+		docFuncs: make(map[string][]string),
+		byFunc:   make(map[string]map[string]struct{}),
+	}
 }
 
 // ValidateDocName rejects names that cannot safely become file names:
-// empty, "." / "..", or anything containing a path separator. SaveDir joins
-// names onto a directory, so an unchecked "../evil" would escape it.
+// empty, "." / "..", or anything containing a path separator. SaveDir and
+// the disk backend join names onto a directory, so an unchecked "../evil"
+// would escape it.
 func ValidateDocName(name string) error {
 	switch {
 	case name == "":
-		return fmt.Errorf("peer: document name must not be empty")
+		return fmt.Errorf("store: document name must not be empty")
 	case name == "." || name == "..":
-		return fmt.Errorf("peer: %q is not a valid document name", name)
+		return fmt.Errorf("store: %q is not a valid document name", name)
 	case strings.ContainsAny(name, `/\`):
-		return fmt.Errorf("peer: document name %q must not contain path separators", name)
+		return fmt.Errorf("store: document name %q must not contain path separators", name)
 	}
 	return nil
+}
+
+// indexLocked records name's function labels at the commit point of a
+// mutation; funcs == nil (a delete) drops the document from the index.
+// Caller holds the write lock.
+func (r *Repository) indexLocked(name string, d *doc.Node) {
+	for _, fn := range r.docFuncs[name] {
+		if docs := r.byFunc[fn]; docs != nil {
+			delete(docs, name)
+			if len(docs) == 0 {
+				delete(r.byFunc, fn)
+			}
+		}
+	}
+	if d == nil {
+		delete(r.docFuncs, name)
+		return
+	}
+	funcs := FuncNames(d)
+	if len(funcs) == 0 {
+		delete(r.docFuncs, name)
+		return
+	}
+	r.docFuncs[name] = funcs
+	for _, fn := range funcs {
+		docs := r.byFunc[fn]
+		if docs == nil {
+			docs = make(map[string]struct{})
+			r.byFunc[fn] = docs
+		}
+		docs[name] = struct{}{}
+	}
 }
 
 // Put stores a document under a name (cloned). Names containing path
@@ -64,6 +105,9 @@ func (r *Repository) Put(name string, d *doc.Node) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("store: put %q: %w", name, ErrClosed)
+	}
 	c := d.Clone()
 	if r.journal != nil {
 		if err := r.journal(name, c); err != nil {
@@ -71,6 +115,7 @@ func (r *Repository) Put(name string, d *doc.Node) error {
 		}
 	}
 	r.docs[name] = c
+	r.indexLocked(name, c)
 	return nil
 }
 
@@ -91,13 +136,16 @@ func (r *Repository) Get(name string) (*doc.Node, bool) {
 // reference to either its argument or its return value, and mutating one
 // after Update returns is a contract violation. The clone on the way in is
 // what makes retaining the *argument* harmless — it can never alias stored
-// state.
+// state. A miss reports ErrNotFound (wrapped).
 func (r *Repository) Update(name string, fn func(*doc.Node) (*doc.Node, error)) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("store: update %q: %w", name, ErrClosed)
+	}
 	d, ok := r.docs[name]
 	if !ok {
-		return fmt.Errorf("peer: no document %q", name)
+		return fmt.Errorf("store: no document %q: %w", name, ErrNotFound)
 	}
 	next, err := fn(d.Clone())
 	if err != nil {
@@ -109,6 +157,7 @@ func (r *Repository) Update(name string, fn func(*doc.Node) (*doc.Node, error)) 
 		}
 	}
 	r.docs[name] = next
+	r.indexLocked(name, next)
 	return nil
 }
 
@@ -118,6 +167,9 @@ func (r *Repository) Update(name string, fn func(*doc.Node) (*doc.Node, error)) 
 func (r *Repository) Delete(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("store: delete %q: %w", name, ErrClosed)
+	}
 	if _, ok := r.docs[name]; !ok {
 		return nil
 	}
@@ -127,6 +179,7 @@ func (r *Repository) Delete(name string) error {
 		}
 	}
 	delete(r.docs, name)
+	r.indexLocked(name, nil)
 	return nil
 }
 
@@ -149,6 +202,58 @@ func (r *Repository) Len() int {
 	return len(r.docs)
 }
 
+// Scan lists up to limit names lexicographically after the cursor.
+func (r *Repository) Scan(after string, limit int) ([]string, bool, error) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.docs))
+	for name := range r.docs {
+		if name > after {
+			names = append(names, name)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	more := len(names) > limit
+	if more {
+		names = names[:limit]
+	}
+	return names, more, nil
+}
+
+// DocsWithFunction returns the sorted names of documents embedding at least
+// one function node labeled fn — answered from the maintained index, not by
+// walking documents.
+func (r *Repository) DocsWithFunction(fn string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	docs := r.byFunc[fn]
+	out := make([]string, 0, len(docs))
+	for name := range docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats reports the in-memory backend counters.
+func (r *Repository) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Stats{Backend: BackendMem, Documents: len(r.docs), Functions: len(r.byFunc)}
+}
+
+// Close retires the repository: subsequent mutations fail with ErrClosed,
+// reads keep serving the last committed state. Idempotent.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return nil
+}
+
 // SaveDir persists every document as <name>.xml in dir (created if needed)
 // and reconciles the directory against the repository: each file is written
 // atomically (temp file, fsync, rename — a crash mid-save never leaves a
@@ -158,7 +263,7 @@ func (r *Repository) Len() int {
 // name is a valid document name is considered managed.
 func (r *Repository) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("peer: %w", err)
+		return fmt.Errorf("store: %w", err)
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -168,15 +273,15 @@ func (r *Repository) SaveDir(dir string) error {
 		}
 		s, err := xmlio.String(d)
 		if err != nil {
-			return fmt.Errorf("peer: serializing %q: %w", name, err)
+			return fmt.Errorf("store: serializing %q: %w", name, err)
 		}
 		if err := wal.WriteFileAtomic(filepath.Join(dir, name+".xml"), []byte(s), 0o644); err != nil {
-			return fmt.Errorf("peer: %w", err)
+			return fmt.Errorf("store: %w", err)
 		}
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("peer: %w", err)
+		return fmt.Errorf("store: %w", err)
 	}
 	for _, e := range entries {
 		if e.IsDir() {
@@ -194,7 +299,7 @@ func (r *Repository) SaveDir(dir string) error {
 		}
 		if _, ok := r.docs[base]; !ok {
 			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
-				return fmt.Errorf("peer: reconciling %s: %w", e.Name(), err)
+				return fmt.Errorf("store: reconciling %s: %w", e.Name(), err)
 			}
 		}
 	}
@@ -243,7 +348,7 @@ func (r *Repository) LoadDir(dir string) error {
 func (r *Repository) LoadDirWith(dir string, policy ConflictPolicy) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, fmt.Errorf("peer: %w", err)
+		return 0, fmt.Errorf("store: %w", err)
 	}
 	loaded := 0
 	for _, e := range entries {
@@ -252,11 +357,11 @@ func (r *Repository) LoadDirWith(dir string, policy ConflictPolicy) (int, error)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return loaded, fmt.Errorf("peer: %w", err)
+			return loaded, fmt.Errorf("store: %w", err)
 		}
 		d, err := xmlio.ParseString(string(data))
 		if err != nil {
-			return loaded, fmt.Errorf("peer: parsing %s: %w", e.Name(), err)
+			return loaded, fmt.Errorf("store: parsing %s: %w", e.Name(), err)
 		}
 		stored, err := r.putWith(strings.TrimSuffix(e.Name(), ".xml"), d, policy)
 		if err != nil {
@@ -277,12 +382,15 @@ func (r *Repository) putWith(name string, d *doc.Node, policy ConflictPolicy) (b
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return false, fmt.Errorf("store: put %q: %w", name, ErrClosed)
+	}
 	if _, exists := r.docs[name]; exists {
 		switch policy {
 		case KeepExisting:
 			return false, nil
 		case FailOnConflict:
-			return false, fmt.Errorf("peer: document %q already exists", name)
+			return false, fmt.Errorf("store: document %q already exists", name)
 		}
 	}
 	c := d.Clone()
@@ -292,5 +400,6 @@ func (r *Repository) putWith(name string, d *doc.Node, policy ConflictPolicy) (b
 		}
 	}
 	r.docs[name] = c
+	r.indexLocked(name, c)
 	return true, nil
 }

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"axml/internal/telemetry"
+)
+
+// Metrics bundles the storage engine's telemetry series. All counters are
+// registered eagerly so the series appear on /metrics from boot (at zero);
+// a nil *Metrics no-ops, keeping uninstrumented stores free of telemetry
+// branches.
+//
+// Series (see DESIGN.md §11 for the catalogue):
+//
+//	axml_store_put_seconds        histogram  Put latency (serialize + atomic write + index)
+//	axml_store_get_seconds        histogram  Get latency (hit or fault)
+//	axml_store_fault_seconds      histogram  cold-read latency (file read + parse)
+//	axml_store_hot_hits_total     counter    reads served from the hot cache
+//	axml_store_faults_total       counter    lazy faults from disk
+//	axml_store_evictions_total    counter    hot-cache evictions
+//	axml_store_deletes_total      counter    document deletions
+//	axml_store_index_queries_total counter   DocsWithFunction lookups
+//	axml_store_index_repairs_total counter   index entries rebuilt at Open
+//	axml_store_documents          gauge(fn)  stored documents
+//	axml_store_hot_cached         gauge(fn)  hot-cache population
+//	axml_store_shard_documents    gauge(fn)  per-shard document counts {shard}
+type Metrics struct {
+	reg *telemetry.Registry
+
+	putSeconds   *telemetry.Histogram
+	getSeconds   *telemetry.Histogram
+	faultSeconds *telemetry.Histogram
+
+	hits         *telemetry.Counter
+	faults       *telemetry.Counter
+	evictions    *telemetry.Counter
+	deletes      *telemetry.Counter
+	indexQueries *telemetry.Counter
+	indexRepairs *telemetry.Counter
+}
+
+// NewMetrics registers the store series against reg; nil in, nil out.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg:          reg,
+		putSeconds:   reg.Histogram("axml_store_put_seconds", nil),
+		getSeconds:   reg.Histogram("axml_store_get_seconds", nil),
+		faultSeconds: reg.Histogram("axml_store_fault_seconds", nil),
+		hits:         reg.Counter("axml_store_hot_hits_total"),
+		faults:       reg.Counter("axml_store_faults_total"),
+		evictions:    reg.Counter("axml_store_evictions_total"),
+		deletes:      reg.Counter("axml_store_deletes_total"),
+		indexQueries: reg.Counter("axml_store_index_queries_total"),
+		indexRepairs: reg.Counter("axml_store_index_repairs_total"),
+	}
+}
+
+// registerDisk wires the scrape-time gauges over a live Disk: document and
+// hot-cache population plus one labeled series per shard directory.
+func (m *Metrics) registerDisk(d *Disk) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc("axml_store_documents", func() float64 {
+		return float64(d.Len())
+	})
+	m.reg.GaugeFunc("axml_store_hot_cached", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.hot.len())
+	})
+	for i := 0; i < d.shards; i++ {
+		shard := i
+		m.reg.GaugeFunc("axml_store_shard_documents", func() float64 {
+			return float64(d.ShardSizes()[shard])
+		}, "shard", fmt.Sprintf("%02x", shard))
+	}
+}
+
+func (m *Metrics) observePut(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.putSeconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) observeGet(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.getSeconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) observeHit() {
+	if m == nil {
+		return
+	}
+	m.hits.Inc()
+}
+
+func (m *Metrics) observeFault(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.faults.Inc()
+	m.faultSeconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) observeEvictions(n int) {
+	if m == nil {
+		return
+	}
+	m.evictions.Add(uint64(n))
+}
+
+func (m *Metrics) observeDelete() {
+	if m == nil {
+		return
+	}
+	m.deletes.Inc()
+}
+
+func (m *Metrics) observeIndexQuery() {
+	if m == nil {
+		return
+	}
+	m.indexQueries.Inc()
+}
+
+func (m *Metrics) observeIndexRepair() {
+	if m == nil {
+		return
+	}
+	m.indexRepairs.Inc()
+}

@@ -17,6 +17,10 @@
 //	store     25% PUT /doc, 15% DELETE /doc, 30% GET /doc, 15% GET /docs,
 //	          15% GET /docs/by-function — storage-engine churn for the
 //	          disk backend's tiering and index paths
+//	stream    90% POST /exchange, 10% GET /doc, recording time-to-first-byte
+//	          alongside the full round trip — point it at a peer running
+//	          with -stream and grow -doc-bytes (1KiB, 64KiB, 1MiB) to watch
+//	          first-byte latency decouple from document size
 //
 // -rate 0 (the default) runs closed-loop: each worker issues its next request
 // as soon as the previous one completes. A positive -rate runs open-loop at
@@ -31,6 +35,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"axml/internal/loadgen"
@@ -38,18 +44,25 @@ import (
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the peer under load")
-	mix := flag.String("mix", "mixed", `workload mix: exchange, mutation, mixed, skewed, store, or "all"`)
+	mix := flag.String("mix", "mixed", `workload mix: exchange, mutation, mixed, skewed, store, stream, or "all"`)
 	duration := flag.Duration("duration", 5*time.Second, "measured duration per mix (setup excluded)")
 	concurrency := flag.Int("concurrency", 8, "number of workers")
 	rate := flag.Float64("rate", 0, "aggregate open-loop request rate in req/s (0 = closed loop)")
 	seed := flag.Int64("seed", 1, "seed for document generation and op sequencing")
 	docs := flag.Int("docs", 32, "generated document population size")
+	docBytes := flag.String("doc-bytes", "0", `pad each generated document to roughly this rendered size ("64KiB", "1MiB", plain bytes; 0 = natural size)`)
 	zipf := flag.Float64("zipf", 1.2, "Zipf exponent for the skewed mix (> 1)")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout only)")
 	check := flag.Bool("check", false, "cross-check client histograms against the peer's /metrics (requires telemetry, exclusive access)")
 	maxNon2xx := flag.Int64("max-non2xx", -1, "fail if any mix sees more than this many non-2xx responses (-1 = no gate)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP client timeout")
 	flag.Parse()
+
+	targetBytes, err := parseSize(*docBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axml-loadgen: -doc-bytes:", err)
+		os.Exit(2)
+	}
 
 	mixes := []string{*mix}
 	if *mix == "all" {
@@ -68,6 +81,7 @@ func main() {
 			Rate:         *rate,
 			Seed:         *seed,
 			Docs:         *docs,
+			DocBytes:     targetBytes,
 			Zipf:         *zipf,
 			Client:       client,
 			CheckMetrics: *check,
@@ -114,6 +128,22 @@ func main() {
 	}
 }
 
+// parseSize reads a byte count with an optional KiB/MiB suffix.
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a byte count like 65536, 64KiB, or 1MiB, got %q", s)
+	}
+	return n * mult, nil
+}
+
 func printSummary(rep *loadgen.Report) {
 	loop := "closed"
 	if rep.Rate > 0 {
@@ -125,7 +155,7 @@ func printSummary(rep *loadgen.Report) {
 		fmt.Printf(", %d shed", rep.Dropped)
 	}
 	fmt.Println()
-	for _, h := range []string{"exchange", "doc", "wsdl", "stats"} {
+	for _, h := range []string{"exchange", "exchange_ttfb", "doc", "wsdl", "stats"} {
 		hs, ok := rep.Handlers[h]
 		if !ok {
 			continue

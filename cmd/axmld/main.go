@@ -26,6 +26,13 @@
 //	             a persistent per-shard function-node index serving
 //	             GET /docs/by-function/{fn}.
 //
+// -stream switches /exchange to the one-pass streaming enforcement engine:
+// the response body starts flowing while the document tail is still being
+// validated, holding only O(depth) state plus unresolved function islands in
+// memory. Targets whose content models mention function symbols fall back to
+// the buffered tree path automatically; a failure after bytes have been sent
+// aborts the connection instead of ending the response as if complete.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests and closes the
 // store (writing a final snapshot under -store wal) before exiting.
 //
@@ -202,6 +209,7 @@ func configure(args []string) (*peer.Peer, options, error) {
 	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures opening a per-endpoint circuit breaker (0 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", invoke.DefaultBreakerCooldown, "how long an open breaker rejects calls before probing")
 	parallel := fs.Int("parallel", 1, "parallel materialization degree for enforcement rewritings (1 = sequential)")
+	streaming := fs.Bool("stream", false, "stream /exchange responses: validate and rewrite in one pass, emitting accepted output while the document is still being enforced (falls back to the buffered path when the target schema is not streamable)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", defaultReadHeaderTimeout, "max time to read a request's headers (0 disables)")
 	readTimeout := fs.Duration("read-timeout", defaultReadTimeout, "max time to read an entire request including the body (0 disables)")
 	writeTimeout := fs.Duration("write-timeout", defaultWriteTimeout, "max time to write a response (0 disables)")
@@ -328,6 +336,7 @@ func configure(args []string) (*peer.Peer, options, error) {
 	p.MaxRequestBytes = *maxRequest
 	p.Policies = policies(*breakerFailures, *breakerCooldown, *retries, *retryBackoff, *callTimeout)
 	p.Parallelism = *parallel
+	p.Streaming = *streaming
 	if *telemetryOn {
 		p.Telemetry = telemetry.NewRegistry()
 	}

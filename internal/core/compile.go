@@ -58,6 +58,9 @@ type Compiled struct {
 	// deriver is shared by every lazy analysis over this pair, so derivative
 	// tables of the target content models are computed once.
 	deriver *regex.Deriver
+	// streamable memoizes the target-streamability analysis (stream.go).
+	streamOnce sync.Once
+	streamable bool
 	// words memoizes word-level verdicts; see wordcache.go.
 	words atomic.Pointer[wordCacheBox]
 	// instr carries the telemetry handles word-level analyses report into

@@ -14,10 +14,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"axml/internal/doc"
 	"axml/internal/workload"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
@@ -36,8 +38,13 @@ const (
 
 var handlerNames = []string{handlerExchange, handlerDoc, handlerWSDL, handlerStats, handlerDocs, handlerDocsByFunction}
 
+// handlerExchangeTTFB is the client-only time-to-first-body-byte series the
+// stream mix records alongside the full exchange round trip. It has no
+// server-side histogram, so it is reported but never cross-checked.
+const handlerExchangeTTFB = "exchange_ttfb"
+
 // Mixes are the supported workload mix names.
-var Mixes = []string{"exchange", "mutation", "mixed", "skewed", "store"}
+var Mixes = []string{"exchange", "mutation", "mixed", "skewed", "store", "stream"}
 
 // Config parameterizes one load-generation run.
 type Config struct {
@@ -45,9 +52,11 @@ type Config struct {
 	BaseURL string
 	// Mix selects the workload: exchange (rewrite-heavy), mutation
 	// (PUT/DELETE-heavy), mixed (intensional + extensional + introspection),
-	// skewed (exchange traffic with Zipf-distributed hot keys), or store
+	// skewed (exchange traffic with Zipf-distributed hot keys), store
 	// (storage-engine churn: mutations plus /docs pagination and
-	// /docs/by-function index lookups).
+	// /docs/by-function index lookups), or stream (exchange traffic that
+	// also records time-to-first-body-byte — against a peer running with
+	// -stream, first-byte latency decouples from document size).
 	Mix string
 	// Duration bounds the measured run (setup excluded). Default 5s.
 	Duration time.Duration
@@ -61,6 +70,11 @@ type Config struct {
 	Seed int64
 	// Docs is the generated document population size. Default 32.
 	Docs int
+	// DocBytes, when positive, pads each generated document's text content
+	// until its rendered form reaches roughly this many bytes (1 KiB,
+	// 64 KiB, and 1 MiB are the benchmark tiers). 0 keeps the generator's
+	// natural size.
+	DocBytes int
 	// Zipf is the skew exponent for the skewed mix (must be > 1). Default 1.2.
 	Zipf float64
 	// Client is the HTTP client; a default with a 30s timeout if nil.
@@ -106,6 +120,7 @@ type Report struct {
 	Mix         string                  `json:"mix"`
 	Duration    float64                 `json:"duration_s"`
 	Concurrency int                     `json:"concurrency"`
+	DocBytes    int                     `json:"doc_bytes,omitempty"`
 	Rate        float64                 `json:"rate_rps,omitempty"` // 0 = closed loop
 	Requests    uint64                  `json:"requests"`
 	Non2xx      uint64                  `json:"non_2xx"`
@@ -172,6 +187,12 @@ func (r *Runner) setup(ctx context.Context) error {
 		if err := xmlio.Write(&buf, root); err != nil {
 			return fmt.Errorf("loadgen: render document: %w", err)
 		}
+		if cfg.DocBytes > buf.Len() && inflate(root, cfg.DocBytes-buf.Len()) {
+			buf.Reset()
+			if err := xmlio.Write(&buf, root); err != nil {
+				return fmt.Errorf("loadgen: render document: %w", err)
+			}
+		}
 		body := buf.Bytes()
 		name := fmt.Sprintf("ldg-%04d", i)
 		if err := r.put(ctx, name, body); err != nil {
@@ -181,6 +202,41 @@ func (r *Runner) setup(ctx context.Context) error {
 		r.popNames = append(r.popNames, name)
 	}
 	return nil
+}
+
+// inflate pads the document's text leaves by need rendered bytes, spread
+// evenly (the filler needs no XML escaping, so one character is one byte).
+// Only existing text nodes grow — a data element admits text of any length,
+// so the document stays schema-conformant. Reports false when the document
+// has no text content to pad.
+func inflate(root *doc.Node, need int) bool {
+	var texts []*doc.Node
+	var walk func(n *doc.Node)
+	walk = func(n *doc.Node) {
+		if n.Kind == doc.Text {
+			texts = append(texts, n)
+			return
+		}
+		if n.Kind == doc.Func {
+			return // padding a parameter would change what services receive
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if len(texts) == 0 || need <= 0 {
+		return false
+	}
+	per := need / len(texts)
+	for i, tn := range texts {
+		pad := per
+		if i == len(texts)-1 {
+			pad = need - per*(len(texts)-1)
+		}
+		tn.Value += strings.Repeat("x", pad)
+	}
+	return true
 }
 
 func (r *Runner) put(ctx context.Context, name string, body []byte) error {
@@ -270,6 +326,38 @@ func (w *worker) do(method, path string, body []byte, handler string) {
 	}
 }
 
+// doStream issues one POST /exchange and records two latencies: time to the
+// first body byte into the client-only TTFB histogram, and the full drain
+// into the exchange histogram (so cross-checks against the server still
+// hold). Against a streaming peer the first byte arrives while the server is
+// still enforcing the document tail; against a buffering peer the two
+// coincide.
+func (w *worker) doStream(path string, body []byte) {
+	req, err := http.NewRequest(http.MethodPost, w.r.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		w.stats.errors++
+		return
+	}
+	start := time.Now()
+	resp, err := w.r.cfg.Client.Do(req)
+	if err != nil {
+		w.stats.errors++
+		return
+	}
+	var first [1]byte
+	if n, _ := io.ReadFull(resp.Body, first[:]); n > 0 {
+		w.r.hists[handlerExchangeTTFB].observe(time.Since(start).Seconds())
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.r.hists[handlerExchange].observe(time.Since(start).Seconds())
+	w.stats.requests++
+	w.stats.status[resp.StatusCode]++
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		w.stats.non2xx++
+	}
+}
+
 // pickUniform and pickSkewed choose a population document.
 func (w *worker) pickUniform() string { return w.r.popNames[w.rng.Intn(len(w.r.popNames))] }
 func (w *worker) pickSkewed() string  { return w.r.popNames[int(w.zipf.Uint64())] }
@@ -297,6 +385,9 @@ func (r *Runner) mixOps() ([]weightedOp, error) {
 	}
 	uniform := func(w *worker) string { return w.pickUniform() }
 	skewed := func(w *worker) string { return w.pickSkewed() }
+	exchangeStream := func(w *worker) {
+		w.doStream("/exchange/"+w.pickUniform()+"?mode=safe", r.identity)
+	}
 
 	switch r.cfg.Mix {
 	case "exchange":
@@ -312,6 +403,8 @@ func (r *Runner) mixOps() ([]weightedOp, error) {
 			return nil, fmt.Errorf("loadgen: the store mix needs a schema-declared function for /docs/by-function")
 		}
 		return []weightedOp{{25, putPrivate}, {15, deletePrivate}, {30, get(uniform)}, {15, listDocs}, {15, byFunction}}, nil
+	case "stream":
+		return []weightedOp{{90, exchangeStream}, {10, get(uniform)}}, nil
 	default:
 		return nil, fmt.Errorf("loadgen: unknown mix %q (want one of %v)", r.cfg.Mix, Mixes)
 	}
@@ -352,11 +445,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if err := r.setup(ctx); err != nil {
 		return nil, err
 	}
-	r.hists = make(map[string]*hist, len(handlerNames))
+	r.hists = make(map[string]*hist, len(handlerNames)+1)
 	bounds := clientBuckets()
 	for _, h := range handlerNames {
 		r.hists[h] = newHist(bounds)
 	}
+	r.hists[handlerExchangeTTFB] = newHist(bounds)
 	ops, err := r.mixOps()
 	if err != nil {
 		return nil, err
@@ -430,6 +524,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		Mix:         cfg.Mix,
 		Duration:    elapsed.Seconds(),
 		Concurrency: cfg.Concurrency,
+		DocBytes:    cfg.DocBytes,
 		Rate:        cfg.Rate,
 		Dropped:     dropped.Load(),
 		Status:      map[string]uint64{},

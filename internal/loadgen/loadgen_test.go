@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/telemetry"
+	"axml/internal/xmlio"
 )
 
 // --- histogram unit tests ---
@@ -252,6 +254,62 @@ func TestRunMixes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestInflate: padding lands exactly on the rendered-size target, spreads
+// over text leaves, and never touches function parameters.
+func TestInflate(t *testing.T) {
+	root := doc.Elem("page",
+		doc.Elem("title", doc.TextNode("t")),
+		doc.Elem("date", doc.TextNode("2002")),
+		doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))))
+	var buf bytes.Buffer
+	if err := xmlio.Write(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Len()
+	if !inflate(root, 1000) {
+		t.Fatal("inflate found no text to pad")
+	}
+	buf.Reset()
+	if err := xmlio.Write(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != base+1000 {
+		t.Errorf("rendered size = %d, want exactly %d", buf.Len(), base+1000)
+	}
+	if got := root.Children[2].Children[0].Children[0].Value; got != "Paris" {
+		t.Errorf("function parameter padded: %q", got)
+	}
+	if inflate(doc.Elem("empty"), 100) {
+		t.Error("a text-free document reported as inflated")
+	}
+}
+
+// TestRunStreamDocBytes: the stream mix records a client-only first-byte
+// histogram and DocBytes inflates the generated population.
+func TestRunStreamDocBytes(t *testing.T) {
+	rep := runMix(t, "stream", func(c *Config) {
+		c.DocBytes = 8 << 10
+		c.Docs = 4
+	})
+	if rep.Requests == 0 || rep.Non2xx != 0 || rep.Errors != 0 {
+		t.Fatalf("reqs=%d non2xx=%d errors=%d: %v", rep.Requests, rep.Non2xx, rep.Errors, rep.Status)
+	}
+	if rep.DocBytes != 8<<10 {
+		t.Errorf("report DocBytes = %d, want %d", rep.DocBytes, 8<<10)
+	}
+	hs, ok := rep.Handlers["exchange_ttfb"]
+	if !ok || hs.Count == 0 {
+		t.Fatal("no first-byte latency recorded")
+	}
+	full := rep.Handlers["exchange"]
+	if hs.Count != full.Count {
+		t.Errorf("ttfb count %d != exchange count %d", hs.Count, full.Count)
+	}
+	if hs.P50 > full.P50 {
+		t.Errorf("first-byte p50 %v above full-drain p50 %v", hs.P50, full.P50)
 	}
 }
 

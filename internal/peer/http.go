@@ -104,7 +104,9 @@ func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-		_ = xmlio.Write(w, d)
+		// WriteTo serializes straight into the response through a pooled
+		// buffer — no per-request document-sized intermediate.
+		_ = xmlio.WriteTo(w, d)
 	case http.MethodPut:
 		if err := ValidateDocName(name); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
@@ -254,17 +256,50 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), body.errorStatus(err))
 		return
 	}
+	if p.Streaming {
+		sw := &xmlResponseWriter{w: w}
+		res, err := p.SendDocumentStream(r.Context(), name, exchange, mode, sw)
+		if err != nil {
+			if sw.wrote || (res != nil && res.BytesWritten > 0) {
+				// The status line and a document prefix are already on the
+				// wire; the only honest signal left is killing the connection.
+				panic(http.ErrAbortHandler)
+			}
+			http.Error(w, err.Error(), exchangeErrorStatus(err))
+		}
+		return
+	}
 	out, err := p.SendDocumentContext(r.Context(), name, exchange, mode)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, store.ErrNotFound) {
-			status = http.StatusNotFound
-		}
-		http.Error(w, err.Error(), status)
+		http.Error(w, err.Error(), exchangeErrorStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	_ = xmlio.Write(w, out)
+	_ = xmlio.WriteTo(w, out)
+}
+
+func exchangeErrorStatus(err error) int {
+	if errors.Is(err, store.ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// xmlResponseWriter defers the response headers of a streamed exchange until
+// the first output byte: enforcement failures that occur before anything was
+// flushed still produce a clean error status, while the first flushed byte
+// commits the 200 and the XML content type.
+type xmlResponseWriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (x *xmlResponseWriter) Write(p []byte) (int, error) {
+	if !x.wrote {
+		x.wrote = true
+		x.w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	}
+	return x.w.Write(p)
 }
 
 // handleStats reports the enforcement cache's effectiveness: compile-cache
@@ -345,6 +380,7 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"word_cache":    words,
 		"invocations":   p.Audit.Len(),
 		"parallelism":   max(p.Parallelism, 1),
+		"streaming":     p.Streaming,
 		"telemetry":     p.Telemetry != nil,
 	}
 	if p.Durable != nil {

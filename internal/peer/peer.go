@@ -3,6 +3,7 @@ package peer
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"axml/internal/core"
@@ -59,6 +60,13 @@ type Peer struct {
 	// pre-invocation, pipelined safe-mode calls). Values <= 1 keep the
 	// sequential engine.
 	Parallelism int
+	// Streaming opts /exchange responses into the one-pass streaming
+	// enforcement engine: validated output bytes leave while the document is
+	// still being rewritten, with O(depth) buffering. Configurations the
+	// streaming engine cannot serve byte-identically (non-Safe modes,
+	// targets admitting kept functions) fall back to the tree path
+	// automatically; see core.Rewriter.RewriteDocumentStream.
+	Streaming bool
 	// Telemetry, if set, instruments the whole peer against this registry:
 	// enforcement rewritings, the compiled-schema and word-verdict caches,
 	// the invocation layer's policy events, and (through Handler) per-HTTP-
@@ -166,6 +174,26 @@ func (p *Peer) SendDocumentContext(ctx context.Context, name string, exchange *s
 		return nil, fmt.Errorf("peer %s: sending %q: %w", p.Name, name, err)
 	}
 	return out, nil
+}
+
+// SendDocumentStream is the Figure 1 scenario with a streaming response: the
+// named document is enforced against the exchange schema and serialized to w
+// in one pass, the first bytes leaving before rewriting completes whenever
+// the configuration allows (see Peer.Streaming). The returned StreamResult
+// reports whether the streaming engine served the request and its buffering
+// peaks. On error, w may have received a partial document prefix — HTTP
+// callers must check StreamResult.BytesWritten before choosing a status.
+func (p *Peer) SendDocumentStream(ctx context.Context, name string, exchange *schema.Schema, mode core.Mode, w io.Writer) (*core.StreamResult, error) {
+	d, ok := p.Repo.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("peer %s: no document %q: %w", p.Name, name, store.ErrNotFound)
+	}
+	rw := p.rewriter(exchange)
+	res, err := rw.RewriteDocumentStream(ctx, d, w, mode)
+	if err != nil {
+		return res, fmt.Errorf("peer %s: sending %q: %w", p.Name, name, err)
+	}
+	return res, nil
 }
 
 // Materialize rewrites a repository document in place against the peer's own

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -217,6 +218,111 @@ func TestDiskIndexSelfHeal(t *testing.T) {
 	}
 	if docs, _ := d2.DocsWithFunction("Get_Temp"); len(docs) != 5 {
 		t.Errorf("healed index: Get_Temp in %d docs, want 5", len(docs))
+	}
+}
+
+// indexedDocs sums the entries across every shard index.json under dir.
+func indexedDocs(t *testing.T, dir string) int {
+	t.Helper()
+	total := 0
+	filepath.WalkDir(dir, func(path string, de os.DirEntry, _ error) error {
+		if de.IsDir() || filepath.Base(path) != "index.json" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx map[string]json.RawMessage
+		if err := json.Unmarshal(data, &idx); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		total += len(idx)
+		return nil
+	})
+	return total
+}
+
+// TestDiskIndexDebounce: mutations defer the shard-index rewrite; Scan and
+// Close are flush points; a crash (reopen without Close) in the deferral
+// window is absorbed by the (size, mtime) self-heal.
+func TestDiskIndexDebounce(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDisk(dir, store.DiskOptions{HotCache: 8, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putCorpus(t, d, 6)
+	if got := indexedDocs(t, dir); got != 0 {
+		t.Errorf("after 6 Puts, %d docs indexed on disk; the rewrite must be deferred", got)
+	}
+	if got := d.Stats().Disk.IndexFlushes; got != 0 {
+		t.Errorf("IndexFlushes = %d before any flush point", got)
+	}
+
+	// Scan is a flush point: the on-disk index catches up.
+	if _, _, err := d.Scan("", 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := indexedDocs(t, dir); got != 6 {
+		t.Errorf("after Scan, %d docs indexed on disk, want 6", got)
+	}
+	if got := d.Stats().Disk.IndexFlushes; got == 0 {
+		t.Error("Scan flushed no shard index")
+	}
+
+	// Mutate past the flush and crash: drop the handle without Close. The
+	// on-disk index now lags (one new doc, one deleted doc).
+	if err := d.Put("doc-new", doc.Elem("page", doc.Call("Get_Time"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("doc-000"); err != nil {
+		t.Fatal(err)
+	}
+	if got := indexedDocs(t, dir); got != 6 {
+		t.Errorf("deferral window: %d docs indexed on disk, want the stale 6", got)
+	}
+
+	d2, err := store.OpenDisk(dir, store.DiskOptions{HotCache: 8, Shards: 2})
+	if err != nil {
+		t.Fatalf("reopen over a stale index: %v", err)
+	}
+	defer d2.Close()
+	if got := d2.Len(); got != 6 {
+		t.Errorf("Len after crash-reopen = %d, want 6 (doc-new in, doc-000 out)", got)
+	}
+	if got := d2.Stats().Disk.IndexRepairs; got < 1 {
+		t.Errorf("IndexRepairs = %d, want >= 1 (doc-new was never indexed)", got)
+	}
+	if docs, err := d2.DocsWithFunction("Get_Time"); err != nil || fmt.Sprint(docs) != fmt.Sprint([]string{"doc-new"}) {
+		t.Errorf("healed index: Get_Time in %v (%v), want [doc-new]", docs, err)
+	}
+	if _, ok := d2.Get("doc-000"); ok {
+		t.Error("deleted document resurrected by the stale index")
+	}
+	// loadShard pruned and repaired: the reopened directory is fully
+	// indexed again without any explicit flush.
+	if got := indexedDocs(t, dir); got != 6 {
+		t.Errorf("after self-heal, %d docs indexed on disk, want 6", got)
+	}
+
+	// Close is the other flush point.
+	if err := d2.Put("doc-final", doc.Elem("page", doc.TextNode("bye"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := indexedDocs(t, dir); got != 7 {
+		t.Errorf("after Close, %d docs indexed on disk, want 7", got)
+	}
+	d3, err := store.OpenDisk(dir, store.DiskOptions{HotCache: 8, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if got := d3.Stats().Disk.IndexRepairs; got != 0 {
+		t.Errorf("clean Close then reopen repaired %d entries, want 0", got)
 	}
 }
 

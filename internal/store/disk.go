@@ -55,10 +55,16 @@ type DiskOptions struct {
 // Each shard also carries an index.json recording, per document, its
 // distinct function labels and the file's (size, mtime) at the time of the
 // write. The function index answers DocsWithFunction without touching any
-// document file; the (size, mtime) pair makes the index self-healing — the
-// document file and the index are two files written in sequence, so a crash
-// between them leaves a detectable mismatch that Open repairs by re-parsing
-// exactly the disagreeing documents.
+// document file; the (size, mtime) pair makes the index self-healing — a
+// document file the index disagrees with (or does not know) is re-parsed at
+// Open and its record rebuilt.
+//
+// Index writes are debounced: a mutation marks its shard dirty instead of
+// rewriting index.json inline (the per-mutation rewrite dominated Put
+// latency), and dirty shards are flushed on Close, Scan, or an explicit
+// Flush. Self-healing is what makes the deferral safe — a crash before the
+// flush leaves the same detectable mismatch as a crash between the two
+// writes always could, just for more than one document.
 type Disk struct {
 	dir     string
 	shards  int
@@ -70,6 +76,7 @@ type Disk struct {
 	docs   map[string]*diskDoc
 	byFunc map[string]map[string]struct{}
 	hot    *lruCache
+	dirty  map[int]bool // shard ids with a deferred index.json rewrite
 
 	stats DiskStats
 }
@@ -116,6 +123,7 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 		docs:    make(map[string]*diskDoc),
 		byFunc:  make(map[string]map[string]struct{}),
 		hot:     newLRUCache(hotCap),
+		dirty:   make(map[int]bool),
 	}
 	d.stats.Shards = shards
 	d.stats.HotCacheCap = hotCap
@@ -308,9 +316,11 @@ func (d *Disk) commitLocked(name string, shard int, c *doc.Node) error {
 	d.docs[name] = &diskDoc{shard: shard, funcs: funcs, size: info.Size(), mtime: info.ModTime().UnixNano()}
 	d.addToFuncIndex(name, funcs)
 	d.evicted(d.hot.add(name, c))
-	// The index write comes after the document write: a crash in between
-	// leaves a (size, mtime) mismatch that the next Open repairs.
-	return d.writeShardIndex(shard, nil)
+	// The index rewrite is deferred to the next flush point: until then the
+	// on-disk index lags this write by exactly the (size, mtime) mismatch
+	// the next Open knows how to repair.
+	d.dirty[shard] = true
+	return nil
 }
 
 func (d *Disk) evicted(n int) {
@@ -423,16 +433,50 @@ func (d *Disk) Delete(name string) error {
 	d.dropFromFuncIndex(name, dd.funcs)
 	d.hot.remove(name)
 	d.metrics.observeDelete()
-	return d.writeShardIndex(dd.shard, nil)
+	// Deferred like commitLocked's index write: a stale entry for a missing
+	// file is pruned by the next Open if the flush never happens.
+	d.dirty[dd.shard] = true
+	return nil
+}
+
+// flushLocked rewrites every dirty shard's index.json from the in-memory
+// name table. Caller holds d.mu. A failed shard stays dirty for the next
+// flush attempt.
+func (d *Disk) flushLocked() error {
+	for id := range d.dirty {
+		if err := d.writeShardIndex(id, nil); err != nil {
+			return err
+		}
+		delete(d.dirty, id)
+		d.stats.IndexFlushes++
+		d.metrics.observeIndexFlush()
+	}
+	return nil
+}
+
+// Flush persists every deferred shard-index rewrite. Mutations mark shards
+// dirty rather than rewriting index.json inline; Close and Scan flush
+// implicitly, and callers that want a durable index at a specific moment
+// call Flush directly.
+func (d *Disk) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flushLocked()
 }
 
 // Scan lists up to limit names lexicographically after the cursor — from
-// the name table, touching no document files.
+// the name table, touching no document files. Scan is a flush point: an
+// enumeration is how external tooling decides what exists, so the on-disk
+// index is brought up to date first.
 func (d *Disk) Scan(after string, limit int) ([]string, bool, error) {
 	if limit <= 0 {
 		limit = DefaultScanLimit
 	}
 	d.mu.Lock()
+	if err := d.flushLocked(); err != nil {
+		d.mu.Unlock()
+		return nil, false, err
+	}
 	names := make([]string, 0, len(d.docs))
 	for name := range d.docs {
 		if name > after {
@@ -510,14 +554,16 @@ func (d *Disk) Stats() Stats {
 	}
 }
 
-// Close retires the store. All state is already on disk (every mutation
-// wrote through), so Close only fences further mutations; reads keep
-// working. Idempotent.
+// Close flushes any deferred shard-index rewrites and fences further
+// mutations; reads keep working. Document bytes are always already on disk
+// (every mutation writes the file through) — only the index debounce has
+// state to flush. Idempotent.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	err := d.flushLocked()
 	d.closed = true
-	return nil
+	return err
 }
 
 // lruCache is a doubly-linked LRU of decoded documents (front = most

@@ -23,6 +23,7 @@ import (
 //	axml_store_deletes_total      counter    document deletions
 //	axml_store_index_queries_total counter   DocsWithFunction lookups
 //	axml_store_index_repairs_total counter   index entries rebuilt at Open
+//	axml_store_index_flushes_total counter   debounced shard-index writes
 //	axml_store_documents          gauge(fn)  stored documents
 //	axml_store_hot_cached         gauge(fn)  hot-cache population
 //	axml_store_shard_documents    gauge(fn)  per-shard document counts {shard}
@@ -39,6 +40,7 @@ type Metrics struct {
 	deletes      *telemetry.Counter
 	indexQueries *telemetry.Counter
 	indexRepairs *telemetry.Counter
+	indexFlushes *telemetry.Counter
 }
 
 // NewMetrics registers the store series against reg; nil in, nil out.
@@ -57,6 +59,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		deletes:      reg.Counter("axml_store_deletes_total"),
 		indexQueries: reg.Counter("axml_store_index_queries_total"),
 		indexRepairs: reg.Counter("axml_store_index_repairs_total"),
+		indexFlushes: reg.Counter("axml_store_index_flushes_total"),
 	}
 }
 
@@ -137,4 +140,11 @@ func (m *Metrics) observeIndexRepair() {
 		return
 	}
 	m.indexRepairs.Inc()
+}
+
+func (m *Metrics) observeIndexFlush() {
+	if m == nil {
+		return
+	}
+	m.indexFlushes.Inc()
 }

@@ -129,9 +129,13 @@ type DiskStats struct {
 	// Evictions counts documents pushed out of the hot cache.
 	Evictions uint64 `json:"evictions"`
 	// IndexRepairs counts index entries rebuilt at Open because the
-	// per-shard index disagreed with the document files (crash between the
-	// document write and the index write).
+	// per-shard index disagreed with the document files (crash before a
+	// deferred index flush).
 	IndexRepairs int `json:"index_repairs"`
+	// IndexFlushes counts shard-index writes performed at flush points
+	// (Close, Scan, Flush). Mutations debounce the index.json rewrite, so
+	// this is typically far below the mutation count.
+	IndexFlushes uint64 `json:"index_flushes"`
 }
 
 // Options configures Open.

@@ -31,6 +31,10 @@ var DefBuckets = []float64{
 // SizeBuckets are byte-size buckets for request/response payloads.
 var SizeBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
 
+// ByteBuckets extend SizeBuckets upward for resident-memory measurements
+// (buffered streaming frontiers) that may exceed payload sizes.
+var ByteBuckets = append(append([]float64{}, SizeBuckets...), 16777216, 67108864)
+
 // CountBuckets are power-of-two buckets for small cardinalities:
 // automaton states, batch sizes, forest widths.
 var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}

@@ -19,6 +19,7 @@
 package xmlio
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/xml"
 	"fmt"
@@ -275,6 +276,28 @@ func Write(w io.Writer, n *doc.Node) error {
 	return err
 }
 
+// flushWriterPool recycles the bufio.Writers behind WriteTo and Emitter:
+// serialization streams through a fixed 32 KiB window instead of
+// materializing the whole document a second time.
+var flushWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) }}
+
+// WriteTo serializes the document straight to w through a pooled
+// bufio.Writer: same bytes as Write, but without an intermediate
+// whole-document buffer — large responses flush in 32 KiB chunks.
+func WriteTo(w io.Writer, n *doc.Node) error {
+	bw := flushWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(io.Discard)
+		flushWriterPool.Put(bw)
+	}()
+	bw.WriteString(xml.Header)
+	p := &printer{b: bw}
+	p.node(n, 0, n.HasFuncs())
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
 // String serializes to a string.
 func String(n *doc.Node) (string, error) {
 	var b strings.Builder
@@ -293,8 +316,19 @@ func MustString(n *doc.Node) string {
 	return s
 }
 
+// sink is the minimal writer surface the printer needs: satisfied by both
+// bytes.Buffer (one-shot batch serialization) and bufio.Writer (direct
+// streaming to a destination). Error handling stays out of the printer —
+// bytes.Buffer cannot fail and bufio.Writer keeps the first error sticky
+// until Flush reports it.
+type sink interface {
+	io.Writer
+	WriteString(s string) (int, error)
+	WriteByte(b byte) error
+}
+
 type printer struct {
-	b *bytes.Buffer
+	b sink
 }
 
 // indents covers the common nesting depths with precomputed two-space runs.

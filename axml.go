@@ -58,6 +58,7 @@ import (
 	"axml/internal/soap"
 	"axml/internal/store"
 	"axml/internal/telemetry"
+	"axml/internal/telemetry/obslog"
 	"axml/internal/wal"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
@@ -475,4 +476,57 @@ var (
 	WithRewriteID = telemetry.WithTraceID
 	// RewriteIDFrom reads the rewrite/trace ID in effect, or "".
 	RewriteIDFrom = telemetry.TraceIDFrom
+)
+
+// Observability surface (DESIGN.md §13): cross-process trace propagation,
+// structured logging, and the slow-request flight recorder. A Peer with
+// Logger set writes one structured line per request; with Flight set it
+// serves the slowest/failed request anatomies at /debug/slow.
+type (
+	// Flight is the bounded slow/failed-request recorder.
+	Flight = telemetry.Flight
+	// FlightRecord is one admitted request with its trace evidence.
+	FlightRecord = telemetry.FlightRecord
+	// Health tracks daemon lifecycle for /healthz and /readyz probes.
+	Health = peer.Health
+	// Logger is the dependency-free leveled structured logger; derive
+	// per-component loggers with With, build fields with LogField.
+	Logger = obslog.Logger
+	// LogField is one key/value pair on a log line.
+	LogField = obslog.Field
+	// LogLevel orders log severities (LogDebug … LogError).
+	LogLevel = obslog.Level
+	// LogFormat selects text or JSON line encoding.
+	LogFormat = obslog.Format
+)
+
+// Log levels and formats for NewLogger.
+const (
+	LogDebug = obslog.Debug
+	LogInfo  = obslog.Info
+	LogWarn  = obslog.Warn
+	LogError = obslog.Error
+
+	LogText = obslog.Text
+	LogJSON = obslog.JSON
+)
+
+var (
+	// NewFlight builds a flight recorder keeping the slowCap slowest and
+	// failCap most recent failed requests (defaults on non-positive).
+	NewFlight = telemetry.NewFlight
+	// NewHealth builds a not-yet-ready lifecycle tracker.
+	NewHealth = peer.NewHealth
+	// NewLogger builds a structured logger writing to w.
+	NewLogger = obslog.New
+	// LogField constructor and level/format parsers.
+	LogF           = obslog.F
+	ParseLogLevel  = obslog.ParseLevel
+	ParseLogFormat = obslog.ParseFormat
+	// InjectTraceContext writes the context's trace identity into an
+	// outbound header as a W3C traceparent; ExtractTraceContext reads one
+	// back, and WithRemoteTrace makes root spans join the remote trace.
+	InjectTraceContext  = telemetry.InjectTraceContext
+	ExtractTraceContext = telemetry.ExtractTraceContext
+	WithRemoteTrace     = telemetry.WithRemoteTrace
 )

@@ -42,15 +42,25 @@
 // the materialization engine's concurrency degree (1 = sequential).
 //
 // Telemetry is on by default (-telemetry=false disables it): the daemon
-// additionally serves GET /metrics (Prometheus text) and GET /debug/traces
-// (recent spans, JSON). -pprof addr serves net/http/pprof on a separate
-// listener restricted to loopback addresses (e.g. -pprof :6060 binds
-// 127.0.0.1:6060).
+// additionally serves GET /metrics (Prometheus text; OpenMetrics with
+// exemplar trace IDs under `Accept: application/openmetrics-text`),
+// GET /debug/traces (recent spans, JSON) and GET /debug/slow (the flight
+// recorder: the -slow-requests slowest plus all failed requests with
+// span trees, audit events and per-stage timing). -pprof addr serves
+// net/http/pprof on a separate listener restricted to loopback addresses
+// (e.g. -pprof :6060 binds 127.0.0.1:6060).
+//
+// All daemon output is structured logging: -log-format json|text and
+// -log-level debug|info|warn|error control it. Request log lines carry
+// the trace ID shared with /debug/traces, audit events, and any
+// traceparent-propagating caller. /healthz answers liveness; /readyz
+// flips to 503 the moment a shutdown signal arrives, before connection
+// draining begins.
 //
 // Example:
 //
 //	axmld -name news -schema news.axs -docs ./docs -sim 7 -addr :8080 \
-//	      -call-timeout 2s -retries 3 -breaker-failures 5
+//	      -call-timeout 2s -retries 3 -breaker-failures 5 -log-format json
 package main
 
 import (
@@ -58,13 +68,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -79,10 +90,34 @@ import (
 	"axml/internal/soap"
 	"axml/internal/store"
 	"axml/internal/telemetry"
+	"axml/internal/telemetry/obslog"
 	"axml/internal/wal"
 	"axml/internal/workload"
 	"axml/internal/xsdint"
 )
+
+// version identifies the build in logs and the axml_build_info gauge;
+// release builds stamp it via -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
+// buildVersion resolves the most specific version available: the ldflags
+// stamp, else the module version, else the VCS revision, else "dev".
+func buildVersion() string {
+	if version != "dev" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	return version
+}
 
 func main() {
 	p, opts, err := configure(os.Args[1:])
@@ -101,6 +136,7 @@ func run(p *peer.Peer, opts options) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	logger := opts.logger
 	var pprofSrv *http.Server
 	if opts.pprof != "" {
 		// The pprof listener deliberately uses http.DefaultServeMux, which
@@ -108,17 +144,29 @@ func run(p *peer.Peer, opts options) int {
 		// pinned the address to loopback.
 		pprofSrv = &http.Server{Addr: opts.pprof, Handler: http.DefaultServeMux}
 		go func() {
-			log.Printf("pprof serving on %s", opts.pprof)
+			logger.Info(nil, "pprof serving", obslog.F("addr", opts.pprof))
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("pprof: %v", err)
+				logger.Error(nil, "pprof listener failed", obslog.Err(err))
 			}
 		}()
 	}
 	srv := newHTTPServer(p.Handler(), opts)
+	// The store is open and recovery is complete by the time configure
+	// returned; mark ready just before the listener starts accepting.
+	p.Health.SetReady(true)
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("peer %q serving on %s (k=%d, mode=%s, telemetry=%v, durable=%v)",
-			p.Name, opts.addr, p.K, p.Mode, p.Telemetry != nil, p.Durable != nil)
+		logger.Info(nil, "serving",
+			obslog.F("peer", p.Name),
+			obslog.F("addr", opts.addr),
+			obslog.F("k", p.K),
+			obslog.F("mode", p.Mode),
+			obslog.F("store", opts.storeBackend),
+			obslog.F("data_dir", opts.dataDir),
+			obslog.F("telemetry", p.Telemetry != nil),
+			obslog.F("durable", p.Durable != nil),
+			obslog.F("version", buildVersion()),
+		)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -126,11 +174,15 @@ func run(p *peer.Peer, opts options) int {
 	select {
 	case <-ctx.Done():
 		stop() // restore default handling: a second signal kills immediately
-		log.Printf("signal received, shutting down")
+		// Flip readiness first so load balancers stop routing while
+		// in-flight requests drain.
+		p.Health.StartDrain()
+		logger.Info(nil, "signal received, draining",
+			obslog.F("store", opts.storeBackend), obslog.F("data_dir", opts.dataDir))
 		sd, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sd); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error(nil, "shutdown failed", obslog.Err(err))
 			exit = 1
 		}
 		if pprofSrv != nil {
@@ -138,15 +190,17 @@ func run(p *peer.Peer, opts options) int {
 		}
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "axmld:", err)
+			logger.Error(nil, "listener failed", obslog.Err(err))
 			exit = 1
 		}
 	}
 	if err := p.Repo.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "axmld: closing store:", err)
+		logger.Error(nil, "closing store failed",
+			obslog.Err(err), obslog.F("store", opts.storeBackend), obslog.F("data_dir", opts.dataDir))
 		exit = 1
 	} else if p.Durable != nil {
-		log.Printf("final snapshot written")
+		logger.Info(nil, "final snapshot written",
+			obslog.F("store", opts.storeBackend), obslog.F("data_dir", opts.dataDir))
 	}
 	return exit
 }
@@ -182,6 +236,10 @@ type options struct {
 	addr  string
 	pprof string // "" = pprof disabled; otherwise a loopback host:port
 
+	logger       *obslog.Logger
+	storeBackend string
+	dataDir      string
+
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
@@ -215,6 +273,9 @@ func configure(args []string) (*peer.Peer, options, error) {
 	writeTimeout := fs.Duration("write-timeout", defaultWriteTimeout, "max time to write a response (0 disables)")
 	idleTimeout := fs.Duration("idle-timeout", defaultIdleTimeout, "max keep-alive idle time between requests (0 disables)")
 	telemetryOn := fs.Bool("telemetry", true, "serve /metrics and /debug/traces and instrument the pipeline")
+	logFormat := fs.String("log-format", "text", "log line format: text | json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	slowRequests := fs.Int("slow-requests", telemetry.DefaultFlightSlow, "slowest requests retained by the /debug/slow flight recorder (0 disables it)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. :6060; empty disables)")
 	storeBackend := fs.String("store", "", "storage backend: mem | wal | disk (default: wal when -data-dir is set, else mem)")
 	hotCache := fs.Int("hot-cache", store.DefaultHotCache, "disk backend: decoded documents kept hot in memory (must be positive)")
@@ -226,6 +287,19 @@ func configure(args []string) (*peer.Peer, options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
 	}
+
+	format, err := obslog.ParseFormat(*logFormat)
+	if err != nil {
+		return nil, options{}, fmt.Errorf("-log-format: %w", err)
+	}
+	level, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		return nil, options{}, fmt.Errorf("-log-level: %w", err)
+	}
+	if *slowRequests < 0 {
+		return nil, options{}, fmt.Errorf("-slow-requests must not be negative, got %d", *slowRequests)
+	}
+	logger := obslog.New(os.Stderr, level, format)
 
 	if *schemaPath == "" {
 		return nil, options{}, fmt.Errorf("-schema is required")
@@ -337,8 +411,20 @@ func configure(args []string) (*peer.Peer, options, error) {
 	p.Policies = policies(*breakerFailures, *breakerCooldown, *retries, *retryBackoff, *callTimeout)
 	p.Parallelism = *parallel
 	p.Streaming = *streaming
+	p.Health = peer.NewHealth()
+	// Request and policy-event log lines carry the store backend so a
+	// fleet's mixed-backend logs attribute latency to the right engine.
+	p.Logger = logger.With(obslog.F("store", backend))
 	if *telemetryOn {
 		p.Telemetry = telemetry.NewRegistry()
+		p.Telemetry.Gauge("axml_build_info",
+			"version", buildVersion(),
+			"go_version", runtime.Version(),
+			"store", backend,
+		).Set(1)
+	}
+	if *slowRequests > 0 {
+		p.Flight = telemetry.NewFlight(*slowRequests, 2**slowRequests)
 	}
 
 	if backend != store.BackendMem {
@@ -360,12 +446,23 @@ func configure(args []string) (*peer.Peer, options, error) {
 		case *store.DurableRepository:
 			p.Durable = s
 			ds := s.Stats()
-			log.Printf("durable repository %s: recovered %d documents (replayed %d WAL records, truncated %d torn)",
-				*dataDir, ds.RecoveredDocuments, ds.WAL.RecoveryReplayed, ds.WAL.RecoveryTruncated)
+			logger.Info(nil, "durable repository recovered",
+				obslog.F("store", backend),
+				obslog.F("data_dir", *dataDir),
+				obslog.F("documents", ds.RecoveredDocuments),
+				obslog.F("wal_replayed", ds.WAL.RecoveryReplayed),
+				obslog.F("wal_truncated", ds.WAL.RecoveryTruncated),
+			)
 		case *store.Disk:
 			ds := s.Stats()
-			log.Printf("disk store %s: %d documents across %d shards (%d index repairs, hot cache %d)",
-				*dataDir, ds.Documents, ds.Disk.Shards, ds.Disk.IndexRepairs, ds.Disk.HotCacheCap)
+			logger.Info(nil, "disk store opened",
+				obslog.F("store", backend),
+				obslog.F("data_dir", *dataDir),
+				obslog.F("documents", ds.Documents),
+				obslog.F("shards", ds.Disk.Shards),
+				obslog.F("index_repairs", ds.Disk.IndexRepairs),
+				obslog.F("hot_cache", ds.Disk.HotCacheCap),
+			)
 		}
 	}
 	// Seeding happens after recovery under KeepExisting: recovered (or
@@ -375,7 +472,12 @@ func configure(args []string) (*peer.Peer, options, error) {
 		if err != nil {
 			return nil, options{}, err
 		}
-		log.Printf("loaded %d documents from %s (%d total)", loaded, *docsDir, p.Repo.Len())
+		logger.Info(nil, "documents loaded",
+			obslog.F("store", backend),
+			obslog.F("dir", *docsDir),
+			obslog.F("loaded", loaded),
+			obslog.F("total", p.Repo.Len()),
+		)
 	}
 	if *simSeed >= 0 {
 		sim := workload.NewSimInvoker(s, rand.New(rand.NewSource(*simSeed)))
@@ -393,11 +495,15 @@ func configure(args []string) (*peer.Peer, options, error) {
 				return nil, options{}, err
 			}
 		}
-		log.Printf("registered %d simulated operations", len(s.Funcs))
+		logger.Info(nil, "simulated operations registered",
+			obslog.F("count", len(s.Funcs)), obslog.F("seed", *simSeed))
 	}
 	return p, options{
 		addr:              *addr,
 		pprof:             pprof,
+		logger:            logger,
+		storeBackend:      backend,
+		dataDir:           *dataDir,
 		readHeaderTimeout: *readHeaderTimeout,
 		readTimeout:       *readTimeout,
 		writeTimeout:      *writeTimeout,

@@ -53,6 +53,9 @@ func TestConfigureRejectsBadFlags(t *testing.T) {
 		{"bad wal sync", []string{"-schema", sp, "-wal-sync", "sometimes"}, "-wal-sync"},
 		{"zero sync interval", []string{"-schema", sp, "-wal-sync-interval", "0s"}, "-wal-sync-interval must be positive"},
 		{"negative snapshot every", []string{"-schema", sp, "-snapshot-every", "-1"}, "-snapshot-every must not be negative"},
+		{"bad log format", []string{"-schema", sp, "-log-format", "xml"}, "-log-format"},
+		{"bad log level", []string{"-schema", sp, "-log-level", "verbose"}, "-log-level"},
+		{"negative slow requests", []string{"-schema", sp, "-slow-requests", "-1"}, "-slow-requests must not be negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +91,34 @@ func TestConfigureBuildsPeer(t *testing.T) {
 	}
 	if opts.pprof != "" {
 		t.Errorf("pprof should default off, got %q", opts.pprof)
+	}
+	if p.Health == nil {
+		t.Error("health lifecycle not installed")
+	}
+	if p.Health.Ready() {
+		t.Error("peer must not report ready before the listener is up")
+	}
+	if p.Logger == nil {
+		t.Error("structured logger not installed")
+	}
+	if p.Flight == nil {
+		t.Error("flight recorder should default on")
+	}
+	if opts.logger == nil {
+		t.Error("options.logger not set")
+	}
+	if opts.storeBackend != "mem" {
+		t.Errorf("storeBackend = %q, want mem", opts.storeBackend)
+	}
+}
+
+func TestConfigureSlowRequestsOff(t *testing.T) {
+	p, _, err := configure([]string{"-schema", writeSchema(t), "-slow-requests", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flight != nil {
+		t.Error("-slow-requests 0 should disable the flight recorder")
 	}
 }
 

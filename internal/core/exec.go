@@ -71,7 +71,7 @@ func (rw *Rewriter) RewriteForestContext(ctx context.Context, forest []*doc.Node
 		ctx = telemetry.WithTraceID(ctx, id)
 	}
 	ins := rw.Instruments
-	sink := &stampSink{inner: rw.Audit, ins: ins, id: id}
+	sink := &stampSink{inner: rw.Audit, extra: rw.Events, ins: ins, id: id}
 	if ins == nil {
 		return rw.rewriteForest(ctx, forest, typ, mode, sink)
 	}
@@ -81,7 +81,7 @@ func (rw *Rewriter) RewriteForestContext(ctx context.Context, forest []*doc.Node
 	span.SetAttr("k", strconv.Itoa(rw.K))
 	start := time.Now()
 	out, err := rw.rewriteForest(ctx, forest, typ, mode, sink)
-	ins.observeRewrite(mode, time.Since(start), err)
+	ins.observeRewrite(mode, time.Since(start), err, id)
 	span.End(err)
 	return out, err
 }
@@ -566,7 +566,7 @@ func (ex *executor) invoke(call *doc.Node, depth int) ([]*doc.Node, error) {
 	}
 	res, err := ex.rw.Invoker.Invoke(ictx, call)
 	if epi != nil {
-		epi.seconds.Observe(time.Since(start).Seconds())
+		epi.seconds.ObserveExemplar(time.Since(start).Seconds(), span.TraceID())
 		if err != nil {
 			epi.errors.Inc()
 		}

@@ -208,12 +208,15 @@ func (ins *Instruments) observeLazy(res *LazyResult) {
 	ins.lazyMark.Add(uint64(res.MarkPrunes))
 }
 
-func (ins *Instruments) observeRewrite(mode Mode, d time.Duration, err error) {
+// observeRewrite records one top-level rewriting; traceID (the rewrite
+// ID) becomes the latency bucket's exemplar so a slow bucket in
+// /metrics links to its recorded trace.
+func (ins *Instruments) observeRewrite(mode Mode, d time.Duration, err error, traceID string) {
 	if ins == nil || mode > Mixed {
 		return
 	}
 	ins.rewrites[mode].Inc()
-	ins.rewriteSecs[mode].Observe(d.Seconds())
+	ins.rewriteSecs[mode].ObserveExemplar(d.Seconds(), traceID)
 	if err != nil {
 		ins.rewriteErrs[mode].Inc()
 	}
@@ -388,6 +391,7 @@ func (ins *Instruments) breakerGauge(endpoint string) *telemetry.Gauge {
 // this one — so bridged counting stays single-counted at any degree.
 type stampSink struct {
 	inner EventSink
+	extra EventSink // observer tap (e.g. the peer's event logger)
 	ins   *Instruments
 	id    string
 }
@@ -399,5 +403,8 @@ func (s *stampSink) RecordEvent(e InvokeEvent) {
 	s.ins.observeEvent(e)
 	if s.inner != nil {
 		s.inner.RecordEvent(e)
+	}
+	if s.extra != nil {
+		s.extra.RecordEvent(e)
 	}
 }

@@ -263,6 +263,40 @@ func (a *Audit) Events() []InvokeEvent {
 	return out
 }
 
+// CallsFor returns the recorded calls stamped with one rewrite ID —
+// the flight recorder's per-request view, copied without cloning the
+// whole trail.
+func (a *Audit) CallsFor(rewriteID string) []CallRecord {
+	if a == nil || rewriteID == "" {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []CallRecord
+	for _, c := range a.calls {
+		if c.Rewrite == rewriteID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EventsFor returns the recorded events stamped with one rewrite ID.
+func (a *Audit) EventsFor(rewriteID string) []InvokeEvent {
+	if a == nil || rewriteID == "" {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []InvokeEvent
+	for _, e := range a.events {
+		if e.Rewrite == rewriteID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // EventCount counts recorded events of one kind.
 func (a *Audit) EventCount(kind string) int {
 	if a == nil {

@@ -79,6 +79,11 @@ type Rewriter struct {
 	Converters Converters
 	// Audit, if set, records every invocation.
 	Audit *Audit
+	// Events, if set, observes every invocation-policy event (retries,
+	// timeouts, breaker transitions…) after rewrite-ID stamping, in
+	// addition to Audit and the Instruments counters — the peer hangs
+	// its structured event log here.
+	Events EventSink
 	// Parallelism is the degree of the parallel materialization engine:
 	// the maximum number of concurrently executing rewriting branches
 	// (sibling subtrees, batched pre-invocations, pipelined safe-mode
@@ -138,6 +143,8 @@ type RewriterConfig struct {
 	// Audit receives the invocation trail; nil allocates a fresh one, so a
 	// configured rewriter always audits.
 	Audit *Audit
+	// Events optionally observes stamped policy events (Rewriter.Events).
+	Events EventSink
 	// Parallelism is the degree of the parallel materialization engine;
 	// 0 selects DefaultParallelism (sequential execution).
 	Parallelism int
@@ -224,6 +231,7 @@ func NewRewriterForConfig(c *Compiled, cfg RewriterConfig) *Rewriter {
 		PreInvoke:       cfg.PreInvoke,
 		Converters:      cfg.Converters,
 		Audit:           audit,
+		Events:          cfg.Events,
 		Parallelism:     parallelism,
 		Instruments:     ins,
 		Streaming:       cfg.Streaming,

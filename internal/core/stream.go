@@ -206,7 +206,7 @@ func (rw *Rewriter) runStream(ctx context.Context, src xmlio.TokenSource, w io.W
 		ctx = telemetry.WithTraceID(ctx, id)
 	}
 	ins := rw.Instruments
-	sink := &stampSink{inner: rw.Audit, ins: ins, id: id}
+	sink := &stampSink{inner: rw.Audit, extra: rw.Events, ins: ins, id: id}
 	if ins == nil {
 		return rw.streamBody(ctx, src, w, sink, time.Now())
 	}
@@ -216,7 +216,7 @@ func (rw *Rewriter) runStream(ctx context.Context, src xmlio.TokenSource, w io.W
 	span.SetAttr("k", strconv.Itoa(rw.K))
 	start := time.Now()
 	res, err := rw.streamBody(ctx, src, w, sink, start)
-	ins.observeRewrite(Safe, time.Since(start), err)
+	ins.observeRewrite(Safe, time.Since(start), err, id)
 	if res != nil {
 		ins.observeStream(res.PeakBufferedBytes, res.PeakBufferedNodes, res.FirstByte, err)
 	}

@@ -220,7 +220,7 @@ func TestInstrumentsNilSafety(t *testing.T) {
 	ins.observeWordVerdict(Lazy, Possible)
 	ins.observeWordAnalysis(Eager, Safe, 0)
 	ins.observeLazy(nil)
-	ins.observeRewrite(Mixed, 0, nil)
+	ins.observeRewrite(Mixed, 0, nil, "")
 	ins.observeEvent(InvokeEvent{Kind: EventTimeout})
 	if ins.endpoint("x") != nil {
 		t.Fatal("nil instruments returned live handles")

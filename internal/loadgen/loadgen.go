@@ -10,6 +10,7 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"axml/internal/doc"
+	"axml/internal/telemetry"
 	"axml/internal/workload"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
@@ -141,7 +143,18 @@ type Runner struct {
 	popNames []string // names of the PUT population (ldg-0000 ...)
 	funcName string   // a function declared by the peer's schema, for /docs/by-function
 	hists    map[string]*hist
+
+	// Trace-propagation sampling (CheckMetrics only): every exchange request
+	// carries a client-minted traceparent; the ring keeps the last few trace
+	// IDs so the post-run check can find them in the server's bounded
+	// /debug/traces span ring — early IDs would have been evicted.
+	traceMu     sync.Mutex
+	traceSample []string
+	traceNext   int
 }
+
+// traceSampleCap bounds the trace IDs verified against /debug/traces.
+const traceSampleCap = 8
 
 // New builds a runner; Run performs setup and the measured phase.
 func New(cfg Config) *Runner {
@@ -310,6 +323,9 @@ func (w *worker) do(method, path string, body []byte, handler string) {
 		w.stats.errors++
 		return
 	}
+	if w.r.cfg.CheckMetrics && handler == handlerExchange {
+		req.Header.Set(telemetry.TraceparentHeader, w.r.mintTraceparent())
+	}
 	start := time.Now()
 	resp, err := w.r.cfg.Client.Do(req)
 	if err != nil {
@@ -338,6 +354,9 @@ func (w *worker) doStream(path string, body []byte) {
 		w.stats.errors++
 		return
 	}
+	if w.r.cfg.CheckMetrics {
+		req.Header.Set(telemetry.TraceparentHeader, w.r.mintTraceparent())
+	}
 	start := time.Now()
 	resp, err := w.r.cfg.Client.Do(req)
 	if err != nil {
@@ -356,6 +375,73 @@ func (w *worker) doStream(path string, body []byte) {
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		w.stats.non2xx++
 	}
+}
+
+// mintTraceparent mints a fresh trace for one exchange request and keeps
+// its ID in the rolling sample ring.
+func (r *Runner) mintTraceparent() string {
+	id := telemetry.NewID()
+	r.traceMu.Lock()
+	if len(r.traceSample) < traceSampleCap {
+		r.traceSample = append(r.traceSample, id)
+	} else {
+		r.traceSample[r.traceNext] = id
+	}
+	r.traceNext = (r.traceNext + 1) % traceSampleCap
+	r.traceMu.Unlock()
+	return telemetry.FormatTraceparent(id, telemetry.NewID())
+}
+
+// checkTraces verifies that the most recently minted client trace IDs are
+// present in the server's /debug/traces span ring — end-to-end proof that
+// the traceparent header joins the client's trace to the server's spans.
+func (r *Runner) checkTraces(ctx context.Context) MetricsCheck {
+	chk := MetricsCheck{Handler: "trace_propagation"}
+	r.traceMu.Lock()
+	sample := append([]string(nil), r.traceSample...)
+	r.traceMu.Unlock()
+	chk.ClientCount = uint64(len(sample))
+	if len(sample) == 0 {
+		chk.OK = true // mix issued no exchange requests
+		return chk
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/debug/traces", nil)
+	if err != nil {
+		chk.Reason = err.Error()
+		return chk
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		chk.Reason = fmt.Sprintf("fetch /debug/traces: %v", err)
+		return chk
+	}
+	var traces struct {
+		Spans []telemetry.SpanRecord `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&traces)
+	resp.Body.Close()
+	if err != nil {
+		chk.Reason = fmt.Sprintf("decode /debug/traces: %v", err)
+		return chk
+	}
+	seen := make(map[string]bool, len(traces.Spans))
+	for _, s := range traces.Spans {
+		seen[s.TraceID] = true
+	}
+	var missing []string
+	for _, id := range sample {
+		if seen[id] {
+			chk.ServerCount++
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		chk.Reason = fmt.Sprintf("client trace IDs absent from /debug/traces: %v", missing)
+		return chk
+	}
+	chk.OK = true
+	return chk
 }
 
 // pickUniform and pickSkewed choose a population document.
@@ -563,6 +649,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				continue
 			}
 			chk := crossCheck(name, r.hists[name], before, after)
+			rep.Checks = append(rep.Checks, chk)
+			if !chk.OK {
+				rep.ChecksOK = false
+			}
+		}
+		if chk := r.checkTraces(ctx); chk.ClientCount > 0 || !chk.OK {
 			rep.Checks = append(rep.Checks, chk)
 			if !chk.OK {
 				rep.ChecksOK = false

@@ -1,0 +1,92 @@
+package peer
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Health tracks the daemon lifecycle for load-balancer probes. Liveness
+// (/healthz) answers 200 whenever the process serves HTTP; readiness
+// (/readyz) answers 200 only between SetReady(true) — store open, WAL
+// recovery complete — and StartDrain, flipping to 503 before
+// http.Server.Shutdown begins so balancers stop routing ahead of
+// connection draining. A nil *Health reports always-ready, covering
+// embedded peers without a daemon lifecycle.
+type Health struct {
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// NewHealth returns a not-yet-ready Health.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady marks the peer ready (or not) to receive traffic.
+func (h *Health) SetReady(v bool) {
+	if h != nil {
+		h.ready.Store(v)
+	}
+}
+
+// StartDrain marks the beginning of graceful shutdown; readiness reports
+// 503 from here on while liveness stays 200.
+func (h *Health) StartDrain() {
+	if h != nil {
+		h.draining.Store(true)
+	}
+}
+
+// Ready reports whether the peer should receive new traffic.
+func (h *Health) Ready() bool {
+	if h == nil {
+		return true
+	}
+	return h.ready.Load() && !h.draining.Load()
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (h *Health) Draining() bool {
+	return h != nil && h.draining.Load()
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (p *Peer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodGet {
+		_, _ = w.Write([]byte("ok\n"))
+	}
+}
+
+// handleReadyz is the readiness probe.
+func (p *Peer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ready := p.Health.Ready()
+	status := http.StatusOK
+	reason := ""
+	if !ready {
+		status = http.StatusServiceUnavailable
+		if p.Health.Draining() {
+			reason = "draining"
+		} else {
+			reason = "starting"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if r.Method != http.MethodGet {
+		return
+	}
+	resp := map[string]any{"ready": ready}
+	if reason != "" {
+		resp["reason"] = reason
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,11 +9,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"axml/internal/core"
 	"axml/internal/soap"
 	"axml/internal/store"
 	"axml/internal/telemetry"
+	"axml/internal/telemetry/obslog"
 	"axml/internal/wal"
 	"axml/internal/wsdl"
 	"axml/internal/xmlio"
@@ -38,17 +41,29 @@ import (
 //	                         the document rewritten to conform to it.
 //	                         ?mode=safe|possible|mixed (default: the peer's)
 //	GET  /stats            — enforcement-cache and audit counters, as JSON
+//	GET  /healthz          — liveness probe (200 while serving)
+//	GET  /readyz           — readiness probe (503 before ready / while
+//	                         draining; see Peer.Health)
 //
 // When Telemetry is set, every route is wrapped with per-handler request
-// metrics and spans, and two further routes appear:
+// metrics and spans — an incoming `traceparent` header joins the
+// caller's trace — and two further routes appear:
 //
 //	GET  /metrics          — Prometheus text exposition of the registry
+//	                         (OpenMetrics with exemplars when Accept
+//	                         asks for application/openmetrics-text)
 //	GET  /debug/traces     — the recent-span ring, as JSON
+//
+// When Flight is set, /debug/slow serves the flight recorder: the
+// slowest and all failed requests with span trees, audit events and
+// per-stage latency. When Logger is set, every request logs one
+// structured line carrying the same trace ID.
 func (p *Peer) Handler() http.Handler {
 	p.instruments() // wire cache scrape-time series before traffic
 	mux := http.NewServeMux()
+	hook := p.handlerHook()
 	handle := func(pattern, name string, h http.Handler) {
-		mux.Handle(pattern, telemetry.InstrumentHandler(p.Telemetry, name, h))
+		mux.Handle(pattern, telemetry.InstrumentHandlerWith(p.Telemetry, name, h, hook))
 	}
 	handle("/soap", "soap", &soap.Server{
 		Registry:        p.Services,
@@ -63,11 +78,110 @@ func (p *Peer) Handler() http.Handler {
 	handle("/docs/by-function/", "docs_by_function", http.HandlerFunc(p.handleDocsByFunction))
 	handle("/exchange/", "exchange", http.HandlerFunc(p.handleExchange))
 	handle("/stats", "stats", http.HandlerFunc(p.handleStats))
+	mux.Handle("/healthz", http.HandlerFunc(p.handleHealthz))
+	mux.Handle("/readyz", http.HandlerFunc(p.handleReadyz))
 	if p.Telemetry != nil {
 		mux.Handle("/metrics", p.Telemetry.MetricsHandler())
 		mux.Handle("/debug/traces", p.Telemetry.Tracer().TracesHandler())
 	}
+	if p.Flight != nil {
+		mux.Handle("/debug/slow", p.Flight.Handler())
+	}
 	return mux
+}
+
+// handlerHook builds the per-request completion hook shared by every
+// instrumented route: the structured request log line and flight-
+// recorder admission. Nil when neither Logger nor Flight is configured,
+// keeping the plain path identical to before.
+func (p *Peer) handlerHook() *telemetry.HandlerHook {
+	if p.Logger == nil && p.Flight == nil {
+		return nil
+	}
+	return &telemetry.HandlerHook{
+		Stages: p.Flight != nil,
+		OnDone: p.requestDone,
+	}
+}
+
+// requestDone runs after each instrumented request: one structured log
+// line, then flight-recorder admission. Snapshotting the span tree and
+// audit trail happens only for admitted requests (slow or failed), so
+// the fast path pays one atomic threshold check.
+func (p *Peer) requestDone(ctx context.Context, info telemetry.RequestInfo) {
+	if l := p.Logger; l != nil {
+		lv := obslog.Info
+		switch {
+		case info.Status >= 500:
+			lv = obslog.Error
+		case info.Status >= 400:
+			lv = obslog.Warn
+		}
+		l.Log(ctx, lv, "request",
+			obslog.F("handler", info.Handler),
+			obslog.F("method", info.Method),
+			obslog.F("path", info.Path),
+			obslog.F("status", info.Status),
+			obslog.F("bytes_in", info.RequestBytes),
+			obslog.F("bytes_out", info.ResponseBytes),
+			obslog.F("duration", info.Duration),
+		)
+	}
+	f := p.Flight
+	if f == nil {
+		return
+	}
+	failed := info.Status >= 400
+	if !f.Admits(info.Duration, failed) {
+		return
+	}
+	rec := telemetry.FlightRecord{
+		TraceID:       info.TraceID,
+		Handler:       info.Handler,
+		Method:        info.Method,
+		Path:          info.Path,
+		Status:        info.Status,
+		Failed:        failed,
+		Start:         info.Start,
+		Duration:      info.Duration,
+		RequestBytes:  info.RequestBytes,
+		ResponseBytes: info.ResponseBytes,
+		Stages:        telemetry.StagesFrom(ctx).Seconds(),
+	}
+	if tr := p.Telemetry.Tracer(); tr != nil && info.TraceID != "" {
+		rec.Spans = tr.SpansForTrace(info.TraceID)
+		// Invoke wait is the sum of the request's invoke.* spans — the
+		// stage breakdown's remote-call share.
+		var wait time.Duration
+		for _, s := range rec.Spans {
+			if strings.HasPrefix(s.Name, "invoke.") {
+				wait += s.Duration
+			}
+		}
+		if wait > 0 {
+			if rec.Stages == nil {
+				rec.Stages = make(map[string]float64, 1)
+			}
+			rec.Stages["invoke"] = wait.Seconds()
+		}
+	}
+	for _, e := range p.Audit.EventsFor(info.TraceID) {
+		rec.Events = append(rec.Events, telemetry.FlightEvent{
+			Kind:     e.Kind,
+			Func:     e.Func,
+			Endpoint: e.Endpoint,
+			Attempt:  e.Attempt,
+			Err:      e.Err,
+		})
+	}
+	for _, c := range p.Audit.CallsFor(info.TraceID) {
+		rec.Calls = append(rec.Calls, telemetry.FlightCall{
+			Func:  c.Func,
+			Depth: c.Depth,
+			Nodes: c.ResultNodes,
+		})
+	}
+	f.Observe(rec)
 }
 
 func (p *Peer) handleWSDL(w http.ResponseWriter, r *http.Request) {
@@ -250,8 +364,16 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 	// throwaway overlay — N distinct hostile schemas leave the shared table,
 	// and therefore peer memory, untouched. The body is capped like every
 	// other write path.
+	st := telemetry.StagesFrom(r.Context())
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	body := p.limitBody(w, r)
 	exchange, err := xsdint.Parse(body, xsdint.Options{Table: p.Schema.Table.Overlay()})
+	if st != nil {
+		st.Set(telemetry.StageParse, time.Since(t0))
+	}
 	if err != nil {
 		http.Error(w, err.Error(), body.errorStatus(err))
 		return
@@ -275,7 +397,13 @@ func (p *Peer) handleExchange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	if st != nil {
+		t0 = time.Now()
+	}
 	_ = xmlio.WriteTo(w, out)
+	if st != nil {
+		st.Set(telemetry.StageSerialize, time.Since(t0))
+	}
 }
 
 func exchangeErrorStatus(err error) int {

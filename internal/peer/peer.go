@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"axml/internal/core"
 	"axml/internal/doc"
@@ -14,6 +15,7 @@ import (
 	"axml/internal/soap"
 	"axml/internal/store"
 	"axml/internal/telemetry"
+	"axml/internal/telemetry/obslog"
 	"axml/internal/wsdl"
 )
 
@@ -78,12 +80,26 @@ type Peer struct {
 	// counters and the daemon closes it on shutdown for a final snapshot.
 	// Nil means Repo is not WAL-backed (in-memory or disk-sharded).
 	Durable *DurableRepository
+	// Logger, if set, emits structured logs through Handler: one line per
+	// request (method, route, status, bytes, duration, trace ID) and one
+	// per notable invocation-policy event (retries, timeouts, breaker
+	// transitions). Works with or without Telemetry; nil disables logging.
+	Logger *obslog.Logger
+	// Flight, if set, records the slowest and all failed requests — span
+	// tree, audit events, per-stage latency — served at /debug/slow.
+	Flight *telemetry.Flight
+	// Health tracks readiness for the /healthz and /readyz probes; nil
+	// reports always-ready (embedded peers without a daemon lifecycle).
+	Health *Health
 
 	invOnce sync.Once
 	inv     core.Invoker
 
 	insOnce sync.Once
 	ins     *core.Instruments
+
+	evtOnce sync.Once
+	evt     core.EventSink
 }
 
 // New creates a peer over the given schema.
@@ -147,9 +163,60 @@ func (p *Peer) rewriter(target *schema.Schema) *core.Rewriter {
 	ins := p.instruments()
 	rw := core.NewRewriterFor(p.Enforcement.Get(p.Schema, target), p.K, p.policyInvoker())
 	rw.Audit = p.Audit
+	rw.Events = p.eventSink()
 	rw.Parallelism = p.Parallelism
 	rw.Instruments = ins
 	return rw
+}
+
+// eventSink lazily builds the peer's policy-event observer: a sink that
+// narrates notable invocation events (retries, exhaustion, timeouts,
+// breaker transitions, degradations) through the structured logger,
+// stamped with the rewrite/trace ID. Nil when no Logger is configured,
+// so unlogged peers pay nothing.
+func (p *Peer) eventSink() core.EventSink {
+	p.evtOnce.Do(func() {
+		if p.Logger != nil {
+			p.evt = &eventLogSink{log: p.Logger}
+		}
+	})
+	return p.evt
+}
+
+// eventLogSink bridges core.InvokeEvent onto the structured logger.
+type eventLogSink struct {
+	log *obslog.Logger
+}
+
+func (s *eventLogSink) RecordEvent(e core.InvokeEvent) {
+	var lv obslog.Level
+	switch e.Kind {
+	case core.EventAttempt:
+		return // one per call: far too chatty for a log stream
+	case core.EventRetryWait, core.EventBreakerHalfOpen, core.EventBreakerClose:
+		lv = obslog.Info
+	default:
+		// exhausted, timeout, fault, degraded, breaker open/reject
+		lv = obslog.Warn
+	}
+	fields := make([]obslog.Field, 0, 6)
+	fields = append(fields, obslog.F("kind", e.Kind), obslog.F("func", e.Func))
+	if e.Endpoint != "" {
+		fields = append(fields, obslog.F("endpoint", e.Endpoint))
+	}
+	if e.Attempt > 0 {
+		fields = append(fields, obslog.F("attempt", e.Attempt))
+	}
+	if e.Wait > 0 {
+		fields = append(fields, obslog.F("wait", e.Wait))
+	}
+	if e.Rewrite != "" {
+		fields = append(fields, obslog.F("trace_id", e.Rewrite))
+	}
+	if e.Err != "" {
+		fields = append(fields, obslog.F("error", e.Err))
+	}
+	s.log.Log(nil, lv, "invoke event", fields...)
 }
 
 // SendDocument is the paper's Figure 1 scenario: materialize the named
@@ -168,8 +235,20 @@ func (p *Peer) SendDocumentContext(ctx context.Context, name string, exchange *s
 	if !ok {
 		return nil, fmt.Errorf("peer %s: no document %q: %w", p.Name, name, store.ErrNotFound)
 	}
+	st := telemetry.StagesFrom(ctx)
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	rw := p.rewriter(exchange)
+	if st != nil {
+		st.Set(telemetry.StageCompile, time.Since(t0))
+		t0 = time.Now()
+	}
 	out, err := rw.RewriteDocumentContext(ctx, d, mode)
+	if st != nil {
+		st.Set(telemetry.StageRewrite, time.Since(t0))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: sending %q: %w", p.Name, name, err)
 	}
@@ -188,8 +267,22 @@ func (p *Peer) SendDocumentStream(ctx context.Context, name string, exchange *sc
 	if !ok {
 		return nil, fmt.Errorf("peer %s: no document %q: %w", p.Name, name, store.ErrNotFound)
 	}
+	st := telemetry.StagesFrom(ctx)
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	rw := p.rewriter(exchange)
+	if st != nil {
+		st.Set(telemetry.StageCompile, time.Since(t0))
+		t0 = time.Now()
+	}
 	res, err := rw.RewriteDocumentStream(ctx, d, w, mode)
+	if st != nil {
+		// The streaming engine serializes as it rewrites; the combined
+		// pass is attributed to the rewrite stage.
+		st.Set(telemetry.StageRewrite, time.Since(t0))
+	}
 	if err != nil {
 		return res, fmt.Errorf("peer %s: sending %q: %w", p.Name, name, err)
 	}

@@ -13,6 +13,7 @@ import (
 	"axml/internal/core"
 	"axml/internal/doc"
 	"axml/internal/service"
+	"axml/internal/telemetry"
 )
 
 // Transport robustness defaults. A peer exchanging intensional documents on
@@ -154,6 +155,9 @@ func (c *Client) CallContext(ctx context.Context, method string, params []*doc.N
 		return nil, fmt.Errorf("soap: calling %s at %s: %w", method, c.Endpoint, err)
 	}
 	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	// Propagate the caller's trace so the remote peer's spans, audit
+	// events, and request logs join this request's trace ID.
+	telemetry.InjectTraceContext(ctx, req.Header)
 	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("soap: calling %s at %s: %w", method, c.Endpoint, err)

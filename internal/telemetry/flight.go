@@ -1,0 +1,272 @@
+package telemetry
+
+// The flight recorder answers "why was that request slow?" after the
+// fact: a bounded in-memory set keeps the N slowest requests plus a
+// ring of recent failures, each with its span tree, audit events, and a
+// per-stage latency breakdown, served at /debug/slow. Admission is a
+// single atomic threshold load on the hot path, so fast requests pay
+// nothing beyond the comparison.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline stages for per-request latency attribution.
+const (
+	StageParse = iota
+	StageCompile
+	StageRewrite
+	StageInvoke
+	StageSerialize
+	numStages
+)
+
+var stageNames = [numStages]string{"parse", "compile", "rewrite", "invoke", "serialize"}
+
+// Stages accumulates per-stage wall time for one request. It is written
+// by the handler goroutine via Set/Add; a nil *Stages no-ops so
+// instrumented code never branches on whether a recorder is attached.
+type Stages struct {
+	d [numStages]int64 // nanoseconds
+}
+
+// Set records the duration of one stage (last write wins).
+func (s *Stages) Set(stage int, d time.Duration) {
+	if s == nil || stage < 0 || stage >= numStages {
+		return
+	}
+	s.d[stage] = int64(d)
+}
+
+// Add accumulates into one stage (for stages that run in pieces).
+func (s *Stages) Add(stage int, d time.Duration) {
+	if s == nil || stage < 0 || stage >= numStages {
+		return
+	}
+	s.d[stage] += int64(d)
+}
+
+// Seconds returns the recorded stages as a name → seconds map, omitting
+// stages that never ran. Returns nil when nothing was recorded.
+func (s *Stages) Seconds() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	var out map[string]float64
+	for i, n := range s.d {
+		if n > 0 {
+			if out == nil {
+				out = make(map[string]float64, numStages)
+			}
+			out[stageNames[i]] = time.Duration(n).Seconds()
+		}
+	}
+	return out
+}
+
+// WithStages returns a context carrying st for downstream Set/Add calls.
+func WithStages(ctx context.Context, st *Stages) context.Context {
+	if st == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxStagesKey, st)
+}
+
+// StagesFrom returns the stage timer carried by ctx, or nil.
+func StagesFrom(ctx context.Context) *Stages {
+	if ctx == nil {
+		return nil
+	}
+	st, _ := ctx.Value(ctxStagesKey).(*Stages)
+	return st
+}
+
+// FlightEvent is one invocation-policy event (retry, breaker transition,
+// timeout…) attached to a flight record. It mirrors the audit event
+// stream without importing it, since telemetry sits below core.
+type FlightEvent struct {
+	Kind     string `json:"kind"`
+	Func     string `json:"func,omitempty"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Err      string `json:"error,omitempty"`
+}
+
+// FlightCall is one service invocation attached to a flight record.
+type FlightCall struct {
+	Func  string `json:"func"`
+	Depth int    `json:"depth,omitempty"`
+	Nodes int    `json:"result_nodes,omitempty"`
+}
+
+// FlightRecord is one admitted request: identity, outcome, latency
+// attribution, and the trace evidence snapshotted at admission time.
+type FlightRecord struct {
+	TraceID       string             `json:"trace_id,omitempty"`
+	Handler       string             `json:"handler"`
+	Method        string             `json:"method"`
+	Path          string             `json:"path"`
+	Status        int                `json:"status"`
+	Failed        bool               `json:"failed,omitempty"`
+	Start         time.Time          `json:"start"`
+	Duration      time.Duration      `json:"duration_ns"`
+	RequestBytes  int64              `json:"request_bytes,omitempty"`
+	ResponseBytes int64              `json:"response_bytes,omitempty"`
+	Stages        map[string]float64 `json:"stages,omitempty"`
+	Spans         []SpanRecord       `json:"spans,omitempty"`
+	Events        []FlightEvent      `json:"events,omitempty"`
+	Calls         []FlightCall       `json:"calls,omitempty"`
+}
+
+// Flight is the recorder: a sorted bounded set of the slowest requests
+// plus a ring of the most recent failures. All methods are safe for
+// concurrent use and nil-safe.
+type Flight struct {
+	slowCap int
+	failCap int
+
+	// threshold is the slowest set's admission floor in nanoseconds:
+	// 0 until the set fills, then the duration of its fastest member.
+	// Hot paths read it lock-free via Admits.
+	threshold atomic.Int64
+
+	mu       sync.Mutex
+	slow     []FlightRecord // sorted by Duration descending
+	failed   []FlightRecord // ring, oldest overwritten
+	failNext int
+	observed uint64
+}
+
+// DefaultFlightSlow and DefaultFlightFailed are the capacities used when
+// NewFlight is given non-positive values.
+const (
+	DefaultFlightSlow   = 32
+	DefaultFlightFailed = 64
+)
+
+// NewFlight returns a recorder keeping the slowCap slowest requests and
+// the failCap most recent failures.
+func NewFlight(slowCap, failCap int) *Flight {
+	if slowCap <= 0 {
+		slowCap = DefaultFlightSlow
+	}
+	if failCap <= 0 {
+		failCap = DefaultFlightFailed
+	}
+	return &Flight{slowCap: slowCap, failCap: failCap}
+}
+
+// Admits reports whether a request with the given duration/outcome would
+// be recorded — callers use it to skip snapshotting span trees and audit
+// events for requests that would be dropped anyway. Nil recorders admit
+// nothing.
+func (f *Flight) Admits(d time.Duration, failed bool) bool {
+	if f == nil {
+		return false
+	}
+	return failed || int64(d) > f.threshold.Load()
+}
+
+// Observe records one request summary, if it qualifies. Failed requests
+// always enter the failure ring; any request slower than the current
+// floor enters the slowest set, evicting its fastest member.
+func (f *Flight) Observe(rec FlightRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.observed++
+	if rec.Failed {
+		if len(f.failed) < f.failCap {
+			f.failed = append(f.failed, rec)
+		} else {
+			f.failed[f.failNext] = rec
+			f.failNext = (f.failNext + 1) % f.failCap
+		}
+	}
+	if len(f.slow) == f.slowCap && int64(rec.Duration) <= f.threshold.Load() {
+		return
+	}
+	// Insert into the descending-sorted slowest set.
+	i := len(f.slow)
+	for i > 0 && f.slow[i-1].Duration < rec.Duration {
+		i--
+	}
+	f.slow = append(f.slow, FlightRecord{})
+	copy(f.slow[i+1:], f.slow[i:])
+	f.slow[i] = rec
+	if len(f.slow) > f.slowCap {
+		f.slow = f.slow[:f.slowCap]
+	}
+	if len(f.slow) == f.slowCap {
+		f.threshold.Store(int64(f.slow[len(f.slow)-1].Duration))
+	}
+}
+
+// Slowest returns the retained slowest requests, slowest first.
+func (f *Flight) Slowest() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightRecord(nil), f.slow...)
+}
+
+// Failed returns the retained failed requests, oldest first.
+func (f *Flight) Failed() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightRecord, 0, len(f.failed))
+	if len(f.failed) == f.failCap {
+		out = append(out, f.failed[f.failNext:]...)
+		out = append(out, f.failed[:f.failNext]...)
+	} else {
+		out = append(out, f.failed...)
+	}
+	return out
+}
+
+// Observed returns how many requests were ever offered to Observe.
+func (f *Flight) Observed() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.observed
+}
+
+// Handler serves the recorder state as JSON at /debug/slow. A nil
+// recorder serves 503 so a disabled daemon still answers.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if f == nil {
+			http.Error(w, "flight recorder disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"slow_capacity":   f.slowCap,
+			"failed_capacity": f.failCap,
+			"observed":        f.Observed(),
+			"slowest":         f.Slowest(),
+			"failed":          f.Failed(),
+		})
+	})
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightSlowestEviction(t *testing.T) {
+	f := NewFlight(3, 2)
+	for i := 1; i <= 6; i++ {
+		f.Observe(FlightRecord{Path: fmt.Sprintf("/r%d", i), Duration: time.Duration(i) * time.Millisecond})
+	}
+	slow := f.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("slowest set has %d entries, want 3", len(slow))
+	}
+	for i, want := range []time.Duration{6, 5, 4} {
+		if slow[i].Duration != want*time.Millisecond {
+			t.Errorf("slowest[%d] = %v, want %v", i, slow[i].Duration, want*time.Millisecond)
+		}
+	}
+	// Once full, requests at or below the floor are not admitted.
+	if f.Admits(3*time.Millisecond, false) {
+		t.Error("recorder admits a request below the slowest-set floor")
+	}
+	if !f.Admits(10*time.Millisecond, false) {
+		t.Error("recorder rejects a request above the floor")
+	}
+	if !f.Admits(time.Nanosecond, true) {
+		t.Error("failed requests must always be admitted")
+	}
+	if f.Observed() != 6 {
+		t.Errorf("observed = %d, want 6", f.Observed())
+	}
+}
+
+func TestFlightFailedRing(t *testing.T) {
+	f := NewFlight(1, 3)
+	for i := 1; i <= 5; i++ {
+		f.Observe(FlightRecord{Path: fmt.Sprintf("/f%d", i), Status: 500, Failed: true})
+	}
+	failed := f.Failed()
+	if len(failed) != 3 {
+		t.Fatalf("failure ring has %d entries, want 3", len(failed))
+	}
+	for i, want := range []string{"/f3", "/f4", "/f5"} {
+		if failed[i].Path != want {
+			t.Errorf("failed[%d] = %q, want %q (oldest first)", i, failed[i].Path, want)
+		}
+	}
+}
+
+// TestFlightConcurrent hammers Observe and the read side from many
+// goroutines; run with -race this proves the admission threshold and the
+// sorted set stay consistent under concurrent eviction.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := time.Duration(g*200+i) * time.Microsecond
+				if f.Admits(d, i%17 == 0) {
+					f.Observe(FlightRecord{Path: "/x", Duration: d, Failed: i%17 == 0})
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = f.Slowest()
+				_ = f.Failed()
+				_ = f.Admits(time.Millisecond, false)
+			}
+		}()
+	}
+	wg.Wait()
+	slow := f.Slowest()
+	if len(slow) != 8 {
+		t.Fatalf("slowest set has %d entries, want 8", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Duration > slow[i-1].Duration {
+			t.Fatalf("slowest set out of order at %d: %v > %v", i, slow[i].Duration, slow[i-1].Duration)
+		}
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlight(2, 2)
+	f.Observe(FlightRecord{
+		TraceID:  "deadbeef-00000001",
+		Handler:  "exchange",
+		Path:     "/exchange",
+		Status:   200,
+		Duration: 5 * time.Millisecond,
+		Stages:   map[string]float64{"parse": 0.001, "invoke": 0.003},
+	})
+	f.Observe(FlightRecord{Path: "/bad", Status: 500, Failed: true})
+
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slow", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var got struct {
+		SlowCapacity int            `json:"slow_capacity"`
+		Observed     uint64         `json:"observed"`
+		Slowest      []FlightRecord `json:"slowest"`
+		Failed       []FlightRecord `json:"failed"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.SlowCapacity != 2 || got.Observed != 2 {
+		t.Errorf("capacity/observed = %d/%d", got.SlowCapacity, got.Observed)
+	}
+	if len(got.Slowest) == 0 || got.Slowest[0].TraceID != "deadbeef-00000001" {
+		t.Errorf("slowest = %+v", got.Slowest)
+	}
+	if got.Slowest[0].Stages["invoke"] != 0.003 {
+		t.Errorf("stages did not round-trip: %+v", got.Slowest[0].Stages)
+	}
+	if len(got.Failed) != 1 || got.Failed[0].Path != "/bad" {
+		t.Errorf("failed = %+v", got.Failed)
+	}
+
+	var nilF *Flight
+	rr = httptest.NewRecorder()
+	nilF.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slow", nil))
+	if rr.Code != 503 {
+		t.Errorf("nil recorder status = %d, want 503", rr.Code)
+	}
+}
+
+func TestStages(t *testing.T) {
+	var st Stages
+	st.Set(StageParse, 2*time.Millisecond)
+	st.Add(StageInvoke, time.Millisecond)
+	st.Add(StageInvoke, time.Millisecond)
+	got := st.Seconds()
+	if got["parse"] != 0.002 || got["invoke"] != 0.002 {
+		t.Errorf("Seconds() = %v", got)
+	}
+	if _, ok := got["rewrite"]; ok {
+		t.Error("unset stage must be omitted")
+	}
+	var nilS *Stages
+	nilS.Set(StageParse, time.Second) // must not panic
+	nilS.Add(StageParse, time.Second)
+	if nilS.Seconds() != nil {
+		t.Error("nil Stages must report nil")
+	}
+	st.Set(-1, time.Second) // out of range must not panic
+	st.Set(numStages, time.Second)
+}

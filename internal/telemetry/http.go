@@ -1,14 +1,19 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
-// MetricsHandler serves the registry in Prometheus text format 0.0.4.
-// A nil registry serves 503 so a disabled daemon still answers.
+// MetricsHandler serves the registry in Prometheus text format 0.0.4,
+// or — when the scraper's Accept header asks for
+// `application/openmetrics-text` — in the OpenMetrics dialect with
+// per-bucket exemplars. A nil registry serves 503 so a disabled daemon
+// still answers.
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -19,11 +24,20 @@ func (r *Registry) MetricsHandler() http.Handler {
 			http.Error(w, "telemetry disabled", http.StatusServiceUnavailable)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		openMetrics := strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
+		if openMetrics {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
 		if req.Method == http.MethodHead {
 			return
 		}
-		_ = r.WritePrometheus(w)
+		if openMetrics {
+			_ = r.WriteOpenMetrics(w)
+		} else {
+			_ = r.WritePrometheus(w)
+		}
 	})
 }
 
@@ -96,6 +110,31 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// RequestInfo is the per-request summary handed to a HandlerHook after
+// the response is written.
+type RequestInfo struct {
+	Handler       string
+	Method        string
+	Path          string
+	Status        int
+	RequestBytes  int64
+	ResponseBytes int64
+	Start         time.Time
+	Duration      time.Duration
+	TraceID       string
+}
+
+// HandlerHook customizes InstrumentHandlerWith. Stages plants a Stages
+// timer in the request context (see WithStages) so handlers downstream
+// can attribute latency per pipeline stage; OnDone runs after the
+// response with the request summary — the peer uses it for structured
+// request logs and flight-recorder admission. The hook runs even with a
+// nil registry, so structured logging works with telemetry disabled.
+type HandlerHook struct {
+	Stages bool
+	OnDone func(ctx context.Context, info RequestInfo)
+}
+
 // InstrumentHandler wraps h with per-handler request metrics and an
 // `http.<name>` span, and plants reg in the request context so deeper
 // layers (the rewriter, the invoke chain) join the same trace. The
@@ -109,13 +148,25 @@ func (sw *statusWriter) Flush() {
 // Status-class counters are pre-registered so every class appears in
 // the exposition from boot. A nil registry returns h unchanged.
 func InstrumentHandler(reg *Registry, name string, h http.Handler) http.Handler {
-	if reg == nil {
+	return InstrumentHandlerWith(reg, name, h, nil)
+}
+
+// InstrumentHandlerWith is InstrumentHandler plus a HandlerHook. An
+// incoming `traceparent` header is extracted before the span opens, so
+// the request's root span — and everything stamped with its trace ID —
+// joins the caller's trace; the request-latency histogram records the
+// trace ID as that bucket's exemplar. With both reg and hook nil, h is
+// returned unchanged (the uninstrumented path stays zero-cost).
+func InstrumentHandlerWith(reg *Registry, name string, h http.Handler, hook *HandlerHook) http.Handler {
+	if reg == nil && hook == nil {
 		return h
 	}
 	classes := [5]*Counter{}
-	for i := range classes {
-		classes[i] = reg.Counter("axml_http_requests_total",
-			"handler", name, "code", strconv.Itoa(i+1)+"xx")
+	if reg != nil {
+		for i := range classes {
+			classes[i] = reg.Counter("axml_http_requests_total",
+				"handler", name, "code", strconv.Itoa(i+1)+"xx")
+		}
 	}
 	seconds := reg.Histogram("axml_http_request_seconds", DefBuckets, "handler", name)
 	reqBytes := reg.Histogram("axml_http_request_bytes", SizeBuckets, "handler", name)
@@ -123,23 +174,57 @@ func InstrumentHandler(reg *Registry, name string, h http.Handler) http.Handler 
 	spanName := "http." + name
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
-		ctx, span := startSpanWith(req.Context(), reg, spanName)
+		ctx := req.Context()
+		if tid, pid, ok := ExtractTraceContext(req.Header); ok {
+			ctx = WithRemoteTrace(ctx, tid, pid)
+		}
+		ctx, span := startSpanWith(ctx, reg, spanName)
 		span.SetAttr("method", req.Method)
 		span.SetAttr("path", req.URL.Path)
+		if hook != nil && hook.Stages {
+			ctx = WithStages(ctx, new(Stages))
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		h.ServeHTTP(sw, req.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		elapsed := time.Since(start)
+		traceID := span.TraceID()
+		if traceID == "" {
+			traceID = TraceIDFrom(ctx)
+		}
 		if cls := sw.status/100 - 1; cls >= 0 && cls < len(classes) {
 			classes[cls].Inc()
 		}
-		seconds.ObserveSince(start)
+		seconds.ObserveExemplar(elapsed.Seconds(), traceID)
 		if req.ContentLength >= 0 {
 			reqBytes.Observe(float64(req.ContentLength))
 		}
 		respBytes.Observe(float64(sw.bytes))
 		span.SetAttr("status", statusString(sw.status))
+		// End before the hook runs so a flight-recorder snapshot taken in
+		// OnDone sees this request's root span already in the ring.
 		span.End(nil)
+		if hook != nil && hook.OnDone != nil {
+			hook.OnDone(ctx, RequestInfo{
+				Handler:       name,
+				Method:        req.Method,
+				Path:          req.URL.Path,
+				Status:        sw.status,
+				RequestBytes:  max64(req.ContentLength, 0),
+				ResponseBytes: sw.bytes,
+				Start:         start,
+				Duration:      elapsed,
+				TraceID:       traceID,
+			})
+		}
 	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -43,7 +43,9 @@ var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 
 type metric interface {
 	// writeTo appends exposition lines for one series. labels is the
 	// canonical `k="v",...` block without braces ("" when unlabeled).
-	writeTo(w io.Writer, family, labels string) error
+	// openMetrics selects the OpenMetrics dialect, which may attach
+	// exemplars; the default 0.0.4 text output must stay byte-stable.
+	writeTo(w io.Writer, family, labels string, openMetrics bool) error
 }
 
 // Registry is a set of named metric families. All methods are safe for
@@ -100,7 +102,7 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
-func (c *Counter) writeTo(w io.Writer, family, labels string) error {
+func (c *Counter) writeTo(w io.Writer, family, labels string, _ bool) error {
 	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(family, labels), c.Value())
 	return err
 }
@@ -147,7 +149,7 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-func (g *Gauge) writeTo(w io.Writer, family, labels string) error {
+func (g *Gauge) writeTo(w io.Writer, family, labels string, _ bool) error {
 	_, err := fmt.Fprintf(w, "%s %s\n", seriesName(family, labels), formatFloat(g.Value()))
 	return err
 }
@@ -159,6 +161,19 @@ type Histogram struct {
 	upper  []float64
 	counts []atomic.Uint64 // len(upper)+1; last is the +Inf overflow
 	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	// ex holds the most recent exemplar per bucket (len(upper)+1),
+	// lazily allocated on the first ObserveExemplar so plain histograms
+	// pay nothing. Slots are swapped whole so readers never see a torn
+	// exemplar.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// p99 outlier bucket in /metrics points straight at its recorded trace.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -167,7 +182,11 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	upper := append([]float64(nil), buckets...)
 	sort.Float64s(upper)
-	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one value.
@@ -175,6 +194,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// observe returns the bucket index the value landed in.
+func (h *Histogram) observe(v float64) int {
 	// Prometheus buckets are `le` (inclusive): first upper bound >= v.
 	i := sort.SearchFloat64s(h.upper, v)
 	h.counts[i].Add(1)
@@ -182,9 +206,36 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stamps it as the bucket's exemplar. The default text exposition is
+// unchanged; exemplars surface only in the OpenMetrics dialect.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// Exemplars returns the current per-bucket exemplars (nil entries for
+// buckets that never saw one), ordered like the upper bounds with the
+// +Inf bucket last.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.ex))
+	for i := range h.ex {
+		out[i] = h.ex[i].Load()
+	}
+	return out
 }
 
 // ObserveSince records the seconds elapsed since start.
@@ -215,18 +266,26 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
-func (h *Histogram) writeTo(w io.Writer, family, labels string) error {
+func (h *Histogram) writeTo(w io.Writer, family, labels string, openMetrics bool) error {
 	var cum uint64
-	for i, ub := range h.upper {
+	for i := 0; i <= len(h.upper); i++ {
 		cum += h.counts[i].Load()
-		le := formatFloat(ub)
-		if err := writeLine(w, family+"_bucket", joinLabels(labels, `le="`+le+`"`), strconv.FormatUint(cum, 10)); err != nil {
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatFloat(h.upper[i])
+		}
+		line := seriesName(family+"_bucket", joinLabels(labels, `le="`+le+`"`)) +
+			" " + strconv.FormatUint(cum, 10)
+		if openMetrics {
+			if ex := h.ex[i].Load(); ex != nil {
+				line += " # {trace_id=\"" + escapeLabelValue(ex.TraceID) + "\"} " +
+					formatFloat(ex.Value) + " " +
+					strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
 			return err
 		}
-	}
-	cum += h.counts[len(h.upper)].Load()
-	if err := writeLine(w, family+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatUint(cum, 10)); err != nil {
-		return err
 	}
 	if err := writeLine(w, family+"_sum", labels, formatFloat(h.Sum())); err != nil {
 		return err
@@ -241,7 +300,7 @@ type funcMetric struct {
 	fn func() float64
 }
 
-func (f *funcMetric) writeTo(w io.Writer, family, labels string) error {
+func (f *funcMetric) writeTo(w io.Writer, family, labels string, _ bool) error {
 	_, err := fmt.Fprintf(w, "%s %s\n", seriesName(family, labels), formatFloat(f.fn()))
 	return err
 }
@@ -379,6 +438,25 @@ func (r *Registry) Value(name string, labels ...string) (float64, bool) {
 // families sorted by name and series sorted by label block. Callback
 // metrics are evaluated outside the registry lock.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the OpenMetrics dialect: the same families and
+// ordering as WritePrometheus, plus per-bucket exemplars on histograms
+// and the terminating `# EOF` marker. Scrapers opt in via the Accept
+// header; the default exposition stays byte-identical to 0.0.4.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeExposition(w, true); err != nil {
+		return err
+	}
+	if r == nil {
+		return nil
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	if r == nil {
 		return nil
 	}
@@ -407,7 +485,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range f.series {
-			if err := s.m.writeTo(w, f.name, s.labels); err != nil {
+			if err := s.m.writeTo(w, f.name, s.labels, openMetrics); err != nil {
 				return err
 			}
 		}

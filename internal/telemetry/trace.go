@@ -110,6 +110,26 @@ func (t *Tracer) Spans() []SpanRecord {
 	return out
 }
 
+// SpansForTrace returns the retained spans belonging to one trace,
+// oldest-first. The flight recorder uses it to snapshot a request's
+// span tree at admission time.
+func (t *Tracer) SpansForTrace(traceID string) []SpanRecord {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	all := t.Spans()
+	out := all[:0]
+	for _, s := range all {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Recorded returns the total number of spans ever finished into the ring.
 func (t *Tracer) Recorded() uint64 {
 	if t == nil {
@@ -183,6 +203,15 @@ func (s *Span) TraceID() string {
 	return s.rec.TraceID
 }
 
+// SpanID returns the span's own ID ("" for a nil span). Trace-context
+// injection uses it as the parent ID on outbound calls.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
+}
+
 // End finishes the span, recording its duration and error status into
 // the tracer's ring.
 func (s *Span) End(err error) {
@@ -208,6 +237,8 @@ const (
 	ctxRegistryKey ctxKey = iota
 	ctxSpanKey
 	ctxTraceIDKey
+	ctxRemoteParentKey
+	ctxStagesKey
 )
 
 // WithRegistry returns a context carrying reg, making reg's tracer the
@@ -316,6 +347,11 @@ func startSpan(ctx context.Context, reg *Registry, parent *Span, name string) (c
 		if id, _ := ctx.Value(ctxTraceIDKey).(string); id != "" {
 			sp.rec.TraceID = id
 			sp.rec.SpanID = NewID()
+			// A root span below an extracted traceparent links to the
+			// remote caller's span so cross-process trees stay connected.
+			if rp, _ := ctx.Value(ctxRemoteParentKey).(string); rp != "" {
+				sp.rec.ParentID = rp
+			}
 		} else {
 			sp.rec.TraceID, sp.rec.SpanID = newIDPair()
 		}

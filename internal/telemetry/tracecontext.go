@@ -1,0 +1,167 @@
+package telemetry
+
+// W3C Trace Context propagation. Outbound calls carry a `traceparent`
+// header so a client → axmld → service (or axmld → axmld) request shares
+// one trace ID across processes — the same ID that stamps audit events,
+// span trees, and request log lines on every hop.
+//
+// The wire format is the W3C one:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Internally IDs are 17-byte "xxxxxxxx-xxxxxxxx" strings (see NewID).
+// Injection strips the dash and left-pads the trace ID with 16 zero
+// digits; extraction reverses the mapping when it sees our padding, and
+// otherwise keeps the foreign 32-hex trace ID opaque so a trace started
+// by an external system keeps its identity through this process.
+
+import (
+	"context"
+	"net/http"
+)
+
+// TraceparentHeader is the canonical header name used for propagation.
+const TraceparentHeader = "Traceparent"
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isZeroHex reports whether s is entirely '0' digits.
+func isZeroHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// isInternalID reports whether s has the internal "xxxxxxxx-xxxxxxxx"
+// shape minted by NewID.
+func isInternalID(s string) bool {
+	return len(s) == 17 && s[8] == '-' && isLowerHex(s[:8]) && isLowerHex(s[9:])
+}
+
+// wireTraceID maps a trace ID to its 32-hex wire form, or "" if the ID
+// fits neither the internal shape nor an opaque 32-hex foreign ID.
+func wireTraceID(id string) string {
+	switch {
+	case isInternalID(id):
+		return "0000000000000000" + id[:8] + id[9:]
+	case len(id) == 32 && isLowerHex(id) && !isZeroHex(id):
+		return id
+	}
+	return ""
+}
+
+// wireSpanID maps a span ID to its 16-hex wire form, or "".
+func wireSpanID(id string) string {
+	switch {
+	case isInternalID(id):
+		return id[:8] + id[9:]
+	case len(id) == 16 && isLowerHex(id) && !isZeroHex(id):
+		return id
+	}
+	return ""
+}
+
+// FormatTraceparent renders a traceparent value for the given trace and
+// parent span IDs (internal "xxxxxxxx-xxxxxxxx" or raw wire hex). It
+// returns "" if either ID cannot be mapped to the wire format.
+func FormatTraceparent(traceID, parentID string) string {
+	t := wireTraceID(traceID)
+	p := wireSpanID(parentID)
+	if t == "" || p == "" {
+		return ""
+	}
+	return "00-" + t + "-" + p + "-01"
+}
+
+// InjectTraceContext writes a traceparent header describing the calling
+// context: the trace ID in effect (enclosing span's or WithTraceID's)
+// and the enclosing span as parent. When no span encloses the call a
+// fresh parent ID is minted so the receiver still has a span to point
+// at. A context with no trace ID injects nothing.
+func InjectTraceContext(ctx context.Context, h http.Header) {
+	if ctx == nil || h == nil {
+		return
+	}
+	traceID := TraceIDFrom(ctx)
+	if traceID == "" {
+		return
+	}
+	parent := SpanFrom(ctx).SpanID()
+	if parent == "" {
+		parent = NewID()
+	}
+	if v := FormatTraceparent(traceID, parent); v != "" {
+		h.Set(TraceparentHeader, v)
+	}
+}
+
+// ExtractTraceContext parses an incoming traceparent header. It returns
+// the trace and parent-span IDs in internal form (wire IDs minted by
+// this codebase round-trip exactly; foreign ones stay as opaque wire
+// hex) and ok=false for a missing or malformed header.
+func ExtractTraceContext(h http.Header) (traceID, parentID string, ok bool) {
+	if h == nil {
+		return "", "", false
+	}
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+// ParseTraceparent parses one traceparent value. Per the W3C spec a
+// version-00 value is exactly 55 bytes; higher (unknown) versions are
+// accepted if their first 55 bytes parse and any extra data is
+// dash-separated. Version ff and all-zero IDs are invalid.
+func ParseTraceparent(v string) (traceID, parentID string, ok bool) {
+	if len(v) < 55 {
+		return "", "", false
+	}
+	ver, tid, pid, flags := v[0:2], v[3:35], v[36:52], v[53:55]
+	if v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", "", false
+	}
+	if !isLowerHex(ver) || ver == "ff" {
+		return "", "", false
+	}
+	if ver == "00" && len(v) != 55 {
+		return "", "", false
+	}
+	if len(v) > 55 && v[55] != '-' {
+		return "", "", false
+	}
+	if !isLowerHex(tid) || isZeroHex(tid) || !isLowerHex(pid) || isZeroHex(pid) || !isLowerHex(flags) {
+		return "", "", false
+	}
+	if isZeroHex(tid[:16]) {
+		// Our own padding: restore the internal dashed form.
+		traceID = tid[16:24] + "-" + tid[24:32]
+	} else {
+		traceID = tid
+	}
+	parentID = pid[:8] + "-" + pid[8:16]
+	return traceID, parentID, true
+}
+
+// WithRemoteTrace returns a context carrying a trace ID and parent span
+// extracted from an incoming request. Root spans started below join the
+// remote trace and link to the remote parent span.
+func WithRemoteTrace(ctx context.Context, traceID, parentID string) context.Context {
+	if traceID == "" {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, ctxTraceIDKey, traceID)
+	if parentID != "" {
+		ctx = context.WithValue(ctx, ctxRemoteParentKey, parentID)
+	}
+	return ctx
+}

@@ -21,6 +21,13 @@
 //	          alongside the full round trip — point it at a peer running
 //	          with -stream and grow -doc-bytes (1KiB, 64KiB, 1MiB) to watch
 //	          first-byte latency decouple from document size
+//	replica   30% PUT probe documents, 45% read-your-writes GETs, 25%
+//	          population GETs — set -write-url to the leader and -url to a
+//	          follower; reads a lagging follower answers with a 404 or an
+//	          older probe are tolerated and reported as stale_reads
+//
+// -write-url routes every mutation (including setup population PUTs) to a
+// different peer than -url; the default sends everything to -url.
 //
 // -rate 0 (the default) runs closed-loop: each worker issues its next request
 // as soon as the previous one completes. A positive -rate runs open-loop at
@@ -43,8 +50,9 @@ import (
 )
 
 func main() {
-	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the peer under load")
-	mix := flag.String("mix", "mixed", `workload mix: exchange, mutation, mixed, skewed, store, stream, or "all"`)
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the peer under load (reads)")
+	writeURL := flag.String("write-url", "", "send mutations to this peer instead of -url (replicated pairs: the leader)")
+	mix := flag.String("mix", "mixed", `workload mix: exchange, mutation, mixed, skewed, store, stream, replica, or "all"`)
 	duration := flag.Duration("duration", 5*time.Second, "measured duration per mix (setup excluded)")
 	concurrency := flag.Int("concurrency", 8, "number of workers")
 	rate := flag.Float64("rate", 0, "aggregate open-loop request rate in req/s (0 = closed loop)")
@@ -75,6 +83,7 @@ func main() {
 	for _, m := range mixes {
 		r := loadgen.New(loadgen.Config{
 			BaseURL:      *url,
+			WriteURL:     *writeURL,
 			Mix:          m,
 			Duration:     *duration,
 			Concurrency:  *concurrency,
@@ -153,6 +162,9 @@ func printSummary(rep *loadgen.Report) {
 		rep.Mix, loop, rep.Concurrency, rep.Duration, rep.Requests, rep.Throughput, rep.Non2xx, rep.Errors)
 	if rep.Dropped > 0 {
 		fmt.Printf(", %d shed", rep.Dropped)
+	}
+	if rep.StaleReads > 0 {
+		fmt.Printf(", %d stale reads", rep.StaleReads)
 	}
 	fmt.Println()
 	for _, h := range []string{"exchange", "exchange_ttfb", "doc", "wsdl", "stats"} {

@@ -33,6 +33,26 @@
 // the buffered tree path automatically; a failure after bytes have been sent
 // aborts the connection instead of ending the response as if complete.
 //
+// Federation: -role selects the peer's place in a static cluster.
+//
+//	-role single    the default: no replication surface
+//	-role leader    requires -store wal; serves the replication protocol
+//	                under GET /replica/snapshot and /replica/stream (the
+//	                WAL's CRC-framed records, re-verified by followers on
+//	                receipt) and keeps -replica-tail records in memory for
+//	                streaming — followers farther behind re-bootstrap from
+//	                a snapshot
+//	-role follower  requires -leader URL; continuously applies the leader's
+//	                stream into the local store and serves hot-standby
+//	                reads, answering every PUT/DELETE /doc with 503 +
+//	                Retry-After (writes belong on the leader)
+//
+// -peers name=url,... installs a static roster on any role: a function
+// node whose service ref endpoint is peer://<name> is routed to that
+// peer's /soap endpoint, and peer://<name>/<doc> fetches the named
+// document from the peer's HTTP surface directly. Replication state is
+// reported under "replica" in GET /stats and as axml_replica_* metrics.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests and closes the
 // store (writing a final snapshot under -store wal) before exiting.
 //
@@ -77,6 +97,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -85,6 +106,7 @@ import (
 	"axml/internal/invoke"
 	"axml/internal/peer"
 	"axml/internal/regex"
+	"axml/internal/replica"
 	"axml/internal/schema"
 	"axml/internal/service"
 	"axml/internal/soap"
@@ -151,6 +173,19 @@ func run(p *peer.Peer, opts options) int {
 		}()
 	}
 	srv := newHTTPServer(p.Handler(), opts)
+	// The follower's replication loop runs for the whole serving life and
+	// must be retired before Repo.Close: an apply racing the final snapshot
+	// would be refused and counted as an error.
+	fctx, fstop := context.WithCancel(context.Background())
+	defer fstop()
+	var fwg sync.WaitGroup
+	if opts.follower != nil {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			_ = opts.follower.Run(fctx)
+		}()
+	}
 	// The store is open and recovery is complete by the time configure
 	// returned; mark ready just before the listener starts accepting.
 	p.Health.SetReady(true)
@@ -163,6 +198,7 @@ func run(p *peer.Peer, opts options) int {
 			obslog.F("mode", p.Mode),
 			obslog.F("store", opts.storeBackend),
 			obslog.F("data_dir", opts.dataDir),
+			obslog.F("role", opts.role),
 			obslog.F("telemetry", p.Telemetry != nil),
 			obslog.F("durable", p.Durable != nil),
 			obslog.F("version", buildVersion()),
@@ -194,6 +230,8 @@ func run(p *peer.Peer, opts options) int {
 			exit = 1
 		}
 	}
+	fstop()
+	fwg.Wait()
 	if err := p.Repo.Close(); err != nil {
 		logger.Error(nil, "closing store failed",
 			obslog.Err(err), obslog.F("store", opts.storeBackend), obslog.F("data_dir", opts.dataDir))
@@ -239,6 +277,10 @@ type options struct {
 	logger       *obslog.Logger
 	storeBackend string
 	dataDir      string
+	role         string
+	// follower, when the role is follower, replicates from the leader; run
+	// starts its loop and stops it before the store closes.
+	follower *replica.Follower
 
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
@@ -284,6 +326,10 @@ func configure(args []string) (*peer.Peer, options, error) {
 	walSync := fs.String("wal-sync", "always", "WAL fsync discipline: always | interval | none")
 	walSyncInterval := fs.Duration("wal-sync-interval", wal.DefaultSyncInterval, "background fsync period when -wal-sync=interval")
 	snapshotEvery := fs.Int("snapshot-every", 1024, "compact the WAL into a snapshot after this many mutations (0 = only at shutdown)")
+	role := fs.String("role", "single", "federation role: single | leader (serve /replica to followers; requires -store wal) | follower (replicate from -leader, serve reads only)")
+	peersFlag := fs.String("peers", "", "static federation roster as name=url,name=url — lets function nodes reference peer://<name> endpoints")
+	leaderURL := fs.String("leader", "", "leader base URL to replicate from (requires -role follower)")
+	replicaTail := fs.Int("replica-tail", 4096, "WAL records kept in memory for replication streaming (leader role; followers farther behind bootstrap from a snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
 	}
@@ -380,6 +426,28 @@ func configure(args []string) (*peer.Peer, options, error) {
 	default:
 		return nil, options{}, fmt.Errorf("bad -store %q (want one of %v)", backend, store.Backends)
 	}
+	switch *role {
+	case "single":
+		if *leaderURL != "" {
+			return nil, options{}, fmt.Errorf("-leader requires -role follower")
+		}
+	case "leader":
+		if backend != store.BackendWAL {
+			return nil, options{}, fmt.Errorf("-role leader requires -store wal (the WAL is the replication log), got %q", backend)
+		}
+		if *replicaTail <= 0 {
+			return nil, options{}, fmt.Errorf("-replica-tail must be positive, got %d", *replicaTail)
+		}
+		if *leaderURL != "" {
+			return nil, options{}, fmt.Errorf("-leader requires -role follower")
+		}
+	case "follower":
+		if *leaderURL == "" {
+			return nil, options{}, fmt.Errorf("-role follower requires -leader")
+		}
+	default:
+		return nil, options{}, fmt.Errorf("bad -role %q (want single, leader or follower)", *role)
+	}
 	s, err := loadSchema(*schemaPath)
 	if err != nil {
 		return nil, options{}, err
@@ -427,6 +495,17 @@ func configure(args []string) (*peer.Peer, options, error) {
 		p.Flight = telemetry.NewFlight(*slowRequests, 2**slowRequests)
 	}
 
+	if *peersFlag != "" {
+		roster, err := core.ParseRoster(*peersFlag)
+		if err != nil {
+			return nil, options{}, fmt.Errorf("-peers: %w", err)
+		}
+		p.Peers = roster
+	}
+	tail := 0
+	if *role == "leader" {
+		tail = *replicaTail
+	}
 	if backend != store.BackendMem {
 		st, err := store.Open(store.Options{
 			Backend:       backend,
@@ -437,6 +516,7 @@ func configure(args []string) (*peer.Peer, options, error) {
 			HotCache:      *hotCache,
 			Shards:        *shards,
 			Registry:      p.Telemetry,
+			ReplicaTail:   tail,
 		})
 		if err != nil {
 			return nil, options{}, err
@@ -498,12 +578,35 @@ func configure(args []string) (*peer.Peer, options, error) {
 		logger.Info(nil, "simulated operations registered",
 			obslog.F("count", len(s.Funcs)), obslog.F("seed", *simSeed))
 	}
+	var follower *replica.Follower
+	switch *role {
+	case "leader":
+		// The store switch above guarantees p.Durable for -store wal.
+		src := replica.NewSource(p.Durable, p.Telemetry)
+		p.Replica = src.Handler()
+		p.ReplicaStats = func() any { return src.Stats() }
+		logger.Info(nil, "replication source ready",
+			obslog.F("epoch", src.Epoch()), obslog.F("tail_records", tail))
+	case "follower":
+		follower = replica.NewFollower(replica.FollowerOptions{
+			Leader:   strings.TrimRight(*leaderURL, "/"),
+			Store:    p.Repo,
+			Logger:   logger.With(obslog.F("component", "replica")),
+			Registry: p.Telemetry,
+		})
+		// Hot-standby: the apply loop owns the store; HTTP serves reads
+		// and answers every mutation 503 + Retry-After.
+		p.ReadOnly = true
+		p.ReplicaStats = func() any { return follower.Stats() }
+	}
 	return p, options{
 		addr:              *addr,
 		pprof:             pprof,
 		logger:            logger,
 		storeBackend:      backend,
 		dataDir:           *dataDir,
+		role:              *role,
+		follower:          follower,
 		readHeaderTimeout: *readHeaderTimeout,
 		readTimeout:       *readTimeout,
 		writeTimeout:      *writeTimeout,

@@ -32,6 +32,7 @@ func Get_Temp = city -> temp
 
 func TestConfigureRejectsBadFlags(t *testing.T) {
 	sp := writeSchema(t)
+	dd := t.TempDir()
 	cases := []struct {
 		name string
 		args []string
@@ -56,6 +57,14 @@ func TestConfigureRejectsBadFlags(t *testing.T) {
 		{"bad log format", []string{"-schema", sp, "-log-format", "xml"}, "-log-format"},
 		{"bad log level", []string{"-schema", sp, "-log-level", "verbose"}, "-log-level"},
 		{"negative slow requests", []string{"-schema", sp, "-slow-requests", "-1"}, "-slow-requests must not be negative"},
+		{"bad role", []string{"-schema", sp, "-role", "observer"}, "bad -role"},
+		{"leader without wal", []string{"-schema", sp, "-role", "leader"}, "-role leader requires -store wal"},
+		{"leader zero tail", []string{"-schema", sp, "-role", "leader", "-store", "wal", "-data-dir", dd, "-replica-tail", "0"}, "-replica-tail must be positive"},
+		{"follower without leader", []string{"-schema", sp, "-role", "follower"}, "-role follower requires -leader"},
+		{"leader url on single", []string{"-schema", sp, "-leader", "http://x:8080"}, "-leader requires -role follower"},
+		{"leader url on leader", []string{"-schema", sp, "-role", "leader", "-store", "wal", "-data-dir", dd, "-leader", "http://x:8080"}, "-leader requires -role follower"},
+		{"bad peers", []string{"-schema", sp, "-peers", "nourl"}, "-peers"},
+		{"duplicate peers", []string{"-schema", sp, "-peers", "a=http://x,a=http://y"}, "-peers"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -188,6 +197,58 @@ func TestConfigureDurable(t *testing.T) {
 	}
 	if _, ok := p2.Repo.Get("extra"); !ok {
 		t.Error("non-colliding seed document not loaded")
+	}
+}
+
+// TestConfigureRoles wires each federation role and checks the peer comes
+// out configured for it: a leader exposes the replication surface over its
+// WAL-backed store, a follower is read-only with a replication loop for run
+// to start, and both report replica stats.
+func TestConfigureRoles(t *testing.T) {
+	sp := writeSchema(t)
+
+	leader, lopts, err := configure([]string{
+		"-schema", sp, "-role", "leader",
+		"-store", "wal", "-data-dir", filepath.Join(t.TempDir(), "l"), "-wal-sync", "none",
+		"-peers", "west=http://w:8080",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Durable.Close()
+	if leader.Replica == nil {
+		t.Error("leader has no /replica handler")
+	}
+	if leader.ReplicaStats == nil {
+		t.Error("leader has no replica stats")
+	}
+	if leader.ReadOnly {
+		t.Error("leader must accept writes")
+	}
+	if lopts.role != "leader" || lopts.follower != nil {
+		t.Errorf("leader options = role %q follower %v", lopts.role, lopts.follower)
+	}
+	if leader.Peers["west"] != "http://w:8080" {
+		t.Errorf("roster = %v", leader.Peers)
+	}
+
+	follower, fopts, err := configure([]string{
+		"-schema", sp, "-role", "follower", "-leader", "http://leader:8080/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !follower.ReadOnly {
+		t.Error("follower must be read-only")
+	}
+	if fopts.follower == nil {
+		t.Fatal("follower options carry no replication loop")
+	}
+	if follower.ReplicaStats == nil {
+		t.Error("follower has no replica stats")
+	}
+	if follower.Replica != nil {
+		t.Error("follower must not serve the replication protocol")
 	}
 }
 

@@ -46,19 +46,27 @@ var handlerNames = []string{handlerExchange, handlerDoc, handlerWSDL, handlerSta
 const handlerExchangeTTFB = "exchange_ttfb"
 
 // Mixes are the supported workload mix names.
-var Mixes = []string{"exchange", "mutation", "mixed", "skewed", "store", "stream"}
+var Mixes = []string{"exchange", "mutation", "mixed", "skewed", "store", "stream", "replica"}
 
 // Config parameterizes one load-generation run.
 type Config struct {
-	// BaseURL is the peer's address, e.g. http://127.0.0.1:8080.
+	// BaseURL is the peer's address, e.g. http://127.0.0.1:8080. Reads always
+	// go here; point it at a follower to measure hot-standby serving.
 	BaseURL string
+	// WriteURL, when set, receives every mutation (setup population PUTs and
+	// the mixes' PUT/DELETE ops) instead of BaseURL. Against a replicated
+	// pair, set WriteURL to the leader and BaseURL to a follower: the replica
+	// mix then measures the read-your-writes gap as stale reads.
+	WriteURL string
 	// Mix selects the workload: exchange (rewrite-heavy), mutation
 	// (PUT/DELETE-heavy), mixed (intensional + extensional + introspection),
 	// skewed (exchange traffic with Zipf-distributed hot keys), store
 	// (storage-engine churn: mutations plus /docs pagination and
-	// /docs/by-function index lookups), or stream (exchange traffic that
+	// /docs/by-function index lookups), stream (exchange traffic that
 	// also records time-to-first-body-byte — against a peer running with
-	// -stream, first-byte latency decouples from document size).
+	// -stream, first-byte latency decouples from document size), or replica
+	// (writes to WriteURL, stale-tolerant reads from BaseURL — point them at
+	// a leader/follower pair).
 	Mix string
 	// Duration bounds the measured run (setup excluded). Default 5s.
 	Duration time.Duration
@@ -109,6 +117,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// writeBase is where mutations go: WriteURL when set, else BaseURL.
+func (c Config) writeBase() string {
+	if c.WriteURL != "" {
+		return c.WriteURL
+	}
+	return c.BaseURL
+}
+
 // HandlerStats summarizes client-observed latency for one server handler.
 type HandlerStats struct {
 	Count uint64  `json:"count"`
@@ -126,6 +142,10 @@ type Report struct {
 	Rate        float64                 `json:"rate_rps,omitempty"` // 0 = closed loop
 	Requests    uint64                  `json:"requests"`
 	Non2xx      uint64                  `json:"non_2xx"`
+	// StaleReads counts replica-mix reads a lagging follower answered with a
+	// 404 or an out-of-date payload — tolerated by design, reported so lag
+	// is visible.
+	StaleReads uint64 `json:"stale_reads,omitempty"`
 	Errors      uint64                  `json:"transport_errors"`
 	Dropped     uint64                  `json:"dropped"` // open loop only: shed by the rate dispatcher
 	Throughput  float64                 `json:"throughput_rps"`
@@ -253,7 +273,7 @@ func inflate(root *doc.Node, need int) bool {
 }
 
 func (r *Runner) put(ctx context.Context, name string, body []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.cfg.BaseURL+"/doc/"+name, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.cfg.writeBase()+"/doc/"+name, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -288,10 +308,11 @@ func (r *Runner) scrapeMetrics(ctx context.Context) (*scrape, error) {
 // workerStats are per-worker counters, merged after the run — workers never
 // share mutable state on the hot path except the lock-free histograms.
 type workerStats struct {
-	requests uint64
-	non2xx   uint64
-	errors   uint64
-	status   map[int]uint64
+	requests   uint64
+	non2xx     uint64
+	errors     uint64
+	staleReads uint64
+	status     map[int]uint64
 }
 
 type worker struct {
@@ -302,6 +323,9 @@ type worker struct {
 	stats workerStats
 	key   string // worker-private document name for mutation ops
 	body  []byte // PUT payload for the private document
+	// writeSeq is the highest acknowledged probe sequence this worker has
+	// written (replica mix): a follower read answering below it is stale.
+	writeSeq uint64
 }
 
 // weightedOp pairs a relative weight with a request closure.
@@ -310,18 +334,25 @@ type weightedOp struct {
 	run    func(w *worker)
 }
 
-// do issues one request, records latency into the handler's histogram and
-// the outcome into the worker's counters. Latency covers the full round
-// trip including response body drain, matching what a real client sees.
+// do issues one request against BaseURL, records latency into the handler's
+// histogram and the outcome into the worker's counters. Latency covers the
+// full round trip including response body drain, matching what a real client
+// sees.
 func (w *worker) do(method, path string, body []byte, handler string) {
+	w.doAt(w.r.cfg.BaseURL, method, path, body, handler)
+}
+
+// doAt is do against an explicit base URL (mutations may target WriteURL).
+// It reports the HTTP status, 0 on a transport error.
+func (w *worker) doAt(base, method, path string, body []byte, handler string) int {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, w.r.cfg.BaseURL+path, rd)
+	req, err := http.NewRequest(method, base+path, rd)
 	if err != nil {
 		w.stats.errors++
-		return
+		return 0
 	}
 	if w.r.cfg.CheckMetrics && handler == handlerExchange {
 		req.Header.Set(telemetry.TraceparentHeader, w.r.mintTraceparent())
@@ -330,7 +361,7 @@ func (w *worker) do(method, path string, body []byte, handler string) {
 	resp, err := w.r.cfg.Client.Do(req)
 	if err != nil {
 		w.stats.errors++
-		return
+		return 0
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -340,6 +371,69 @@ func (w *worker) do(method, path string, body []byte, handler string) {
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		w.stats.non2xx++
 	}
+	return resp.StatusCode
+}
+
+// replicaWrite PUTs the next probe document to the write side (the leader)
+// under the worker-private key; only an acknowledged write raises the bar a
+// follower read is held to.
+func (w *worker) replicaWrite() {
+	next := w.writeSeq + 1
+	body := []byte(fmt.Sprintf("<probe>%d</probe>", next))
+	if st := w.doAt(w.r.cfg.writeBase(), http.MethodPut, "/doc/"+w.key, body, handlerDoc); st >= 200 && st <= 299 {
+		w.writeSeq = next
+	}
+}
+
+// replicaGet reads a document from BaseURL (the follower) tolerating
+// replication lag: a 404, or — when wantSeq > 0 — a probe payload older than
+// the last acknowledged write, counts as a stale read instead of a failure.
+func (w *worker) replicaGet(name string, wantSeq uint64) {
+	req, err := http.NewRequest(http.MethodGet, w.r.cfg.BaseURL+"/doc/"+name, nil)
+	if err != nil {
+		w.stats.errors++
+		return
+	}
+	start := time.Now()
+	resp, err := w.r.cfg.Client.Do(req)
+	if err != nil {
+		w.stats.errors++
+		return
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.r.hists[handlerDoc].observe(time.Since(start).Seconds())
+	w.stats.requests++
+	w.stats.status[resp.StatusCode]++
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		w.stats.staleReads++ // not replicated yet: lag, not an error
+	case resp.StatusCode >= 200 && resp.StatusCode <= 299:
+		if seq, ok := parseProbeSeq(data); wantSeq > 0 && ok && seq < wantSeq {
+			w.stats.staleReads++
+		}
+	default:
+		w.stats.non2xx++
+	}
+}
+
+// parseProbeSeq extracts the sequence number from a rendered probe document
+// (the first digit run in the body), tolerant of serialization differences.
+func parseProbeSeq(body []byte) (uint64, bool) {
+	var n uint64
+	seen := false
+	for _, b := range body {
+		if b >= '0' && b <= '9' {
+			n = n*10 + uint64(b-'0')
+			seen = true
+			continue
+		}
+		if seen {
+			break
+		}
+	}
+	return n, seen
 }
 
 // doStream issues one POST /exchange and records two latencies: time to the
@@ -461,8 +555,8 @@ func (r *Runner) mixOps() ([]weightedOp, error) {
 	get := func(pick func(w *worker) string) func(w *worker) {
 		return func(w *worker) { w.do(http.MethodGet, "/doc/"+pick(w), nil, handlerDoc) }
 	}
-	putPrivate := func(w *worker) { w.do(http.MethodPut, "/doc/"+w.key, w.body, handlerDoc) }
-	deletePrivate := func(w *worker) { w.do(http.MethodDelete, "/doc/"+w.key, nil, handlerDoc) }
+	putPrivate := func(w *worker) { w.doAt(r.cfg.writeBase(), http.MethodPut, "/doc/"+w.key, w.body, handlerDoc) }
+	deletePrivate := func(w *worker) { w.doAt(r.cfg.writeBase(), http.MethodDelete, "/doc/"+w.key, nil, handlerDoc) }
 	getWSDL := func(w *worker) { w.do(http.MethodGet, "/wsdl", nil, handlerWSDL) }
 	getStats := func(w *worker) { w.do(http.MethodGet, "/stats", nil, handlerStats) }
 	listDocs := func(w *worker) { w.do(http.MethodGet, "/docs?limit=50", nil, handlerDocs) }
@@ -491,6 +585,22 @@ func (r *Runner) mixOps() ([]weightedOp, error) {
 		return []weightedOp{{25, putPrivate}, {15, deletePrivate}, {30, get(uniform)}, {15, listDocs}, {15, byFunction}}, nil
 	case "stream":
 		return []weightedOp{{90, exchangeStream}, {10, get(uniform)}}, nil
+	case "replica":
+		// Writes land on the leader (writeBase), reads on BaseURL — pointed
+		// at a follower, read-your-writes checks turn replication lag into
+		// the stale_reads counter instead of failures. Population reads
+		// tolerate 404 too: setup wrote those documents to the leader and a
+		// cold follower may still be bootstrapping.
+		writeProbe := func(w *worker) { w.replicaWrite() }
+		readOwn := func(w *worker) {
+			if w.writeSeq == 0 {
+				w.replicaWrite()
+				return
+			}
+			w.replicaGet(w.key, w.writeSeq)
+		}
+		readPopulation := func(w *worker) { w.replicaGet(w.pickUniform(), 0) }
+		return []weightedOp{{30, writeProbe}, {45, readOwn}, {25, readPopulation}}, nil
 	default:
 		return nil, fmt.Errorf("loadgen: unknown mix %q (want one of %v)", r.cfg.Mix, Mixes)
 	}
@@ -621,6 +731,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		rep.Requests += w.stats.requests
 		rep.Non2xx += w.stats.non2xx
 		rep.Errors += w.stats.errors
+		rep.StaleReads += w.stats.staleReads
 		for code, n := range w.stats.status {
 			rep.Status[fmt.Sprintf("%d", code)] += n
 		}

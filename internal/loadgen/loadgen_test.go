@@ -313,6 +313,48 @@ func TestRunStreamDocBytes(t *testing.T) {
 	}
 }
 
+// TestRunReplicaMixSplitsWrites points WriteURL and BaseURL at two unrelated
+// peers: every mutation (setup population included) must land on the write
+// side only, and reads against the never-replicated read side must surface as
+// tolerated stale reads, not errors or non-2xx failures.
+func TestRunReplicaMixSplitsWrites(t *testing.T) {
+	writePeer := testPeer(t)
+	writeSide := httptest.NewServer(writePeer.Handler())
+	defer writeSide.Close()
+	readPeer := testPeer(t)
+	readSide := httptest.NewServer(readPeer.Handler())
+	defer readSide.Close()
+
+	rep, err := New(Config{
+		BaseURL:     readSide.URL,
+		WriteURL:    writeSide.URL,
+		Mix:         "replica",
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		Seed:        7,
+		Docs:        4,
+		Client:      readSide.Client(),
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("reqs=%d errors=%d", rep.Requests, rep.Errors)
+	}
+	if rep.Non2xx != 0 {
+		t.Errorf("%d non-2xx — lag must be stale reads, not failures: %v", rep.Non2xx, rep.Status)
+	}
+	if rep.StaleReads == 0 {
+		t.Error("no stale reads recorded against an empty read side")
+	}
+	if writePeer.Repo.Len() == 0 {
+		t.Error("no documents landed on the write side")
+	}
+	if readPeer.Repo.Len() != 0 {
+		t.Errorf("%d documents leaked onto the read side", readPeer.Repo.Len())
+	}
+}
+
 func TestRunUnknownMix(t *testing.T) {
 	ts := httptest.NewServer(testPeer(t).Handler())
 	defer ts.Close()

@@ -1,0 +1,176 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/doc"
+)
+
+// TestDrainRejectsWritesMidBurst hammers PUT /doc from several goroutines,
+// flips StartDrain mid-burst, and checks the shared write guard: once a
+// client sees 503 it never sees another acknowledgement (no post-drain
+// write lands), the 503 carries Retry-After, and reads keep working.
+func TestDrainRejectsWritesMidBurst(t *testing.T) {
+	p := newsPeer(t)
+	p.Health = NewHealth()
+	p.Health.SetReady(true)
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	const writers = 4
+	var (
+		wg          sync.WaitGroup
+		ackedAfter  atomic.Int64 // 204s observed after a 503 — must stay 0
+		sawRefusal  atomic.Int64
+		missingWait atomic.Int64 // 503s without Retry-After — must stay 0
+	)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			refused := false
+			for i := 0; i < 10_000; i++ {
+				resp := doReq(t, http.MethodPut,
+					fmt.Sprintf("%s/doc/burst-g%d-%d", ts.URL, g, i), "<d>v</d>")
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusNoContent:
+					if refused {
+						ackedAfter.Add(1)
+					}
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						missingWait.Add(1)
+					}
+					sawRefusal.Add(1)
+					if refused {
+						return // two refusals in a row: drain is sticky, stop
+					}
+					refused = true
+				default:
+					t.Errorf("PUT status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	p.Health.StartDrain()
+	wg.Wait()
+
+	if sawRefusal.Load() == 0 {
+		t.Fatal("no writer observed a 503 after StartDrain")
+	}
+	if n := ackedAfter.Load(); n != 0 {
+		t.Fatalf("%d writes acknowledged after a drain refusal", n)
+	}
+	if n := missingWait.Load(); n != 0 {
+		t.Fatalf("%d refusals lacked a Retry-After header", n)
+	}
+	// Post-drain: every mutation refused, reads still served.
+	if resp := doReq(t, http.MethodPut, ts.URL+"/doc/late", "<d/>"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain PUT = %d, want 503", resp.StatusCode)
+	}
+	if resp := doReq(t, http.MethodDelete, ts.URL+"/doc/burst-g0-0", ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain DELETE = %d, want 503", resp.StatusCode)
+	}
+	if resp := doReq(t, http.MethodGet, ts.URL+"/docs", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain read = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReadOnlyFollowerRejectsWrites checks the follower half of the shared
+// guard: ReadOnly rejects PUT and DELETE with 503 + Retry-After while GET
+// serves the replicated corpus.
+func TestReadOnlyFollowerRejectsWrites(t *testing.T) {
+	p := newsPeer(t)
+	must(t, p.Repo.Put("replicated", doc.Elem("d", doc.TextNode("from-leader"))))
+	p.ReadOnly = true
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	resp := doReq(t, http.MethodPut, ts.URL+"/doc/x", "<d/>")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower PUT = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("follower 503 lacks Retry-After")
+	}
+	if resp := doReq(t, http.MethodDelete, ts.URL+"/doc/replicated", ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower DELETE = %d, want 503", resp.StatusCode)
+	}
+	if _, ok := p.Repo.Get("replicated"); !ok {
+		t.Fatal("refused DELETE mutated the store")
+	}
+	if resp := doReq(t, http.MethodGet, ts.URL+"/doc/replicated", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower GET = %d, want 200 (hot-standby reads)", resp.StatusCode)
+	}
+}
+
+// TestCrossPeerDocumentFetch exercises the tentpole's invocation leg: a
+// function node whose service ref is peer://<name>/<doc> resolves through
+// the roster to the remote peer's HTTP surface — the raw document without
+// parameters, the enforcing /exchange endpoint with a schema parameter.
+func TestCrossPeerDocumentFetch(t *testing.T) {
+	remote := newsPeer(t)
+	must(t, remote.Repo.Put("weather", doc.Elem("weather", doc.TextNode("sunny"))))
+	ts := httptest.NewServer(remote.Handler())
+	defer ts.Close()
+
+	local := newsPeer(t)
+	local.Peers = core.Roster{"remote": ts.URL}
+
+	call := doc.CallAt(doc.ServiceRef{Endpoint: "peer://remote/weather", Method: "fetch"})
+	out, err := local.Invoker().Invoke(context.Background(), call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Label != "weather" {
+		t.Fatalf("fetched forest = %+v", out)
+	}
+	if len(out[0].Children) != 1 || out[0].Children[0].Value != "sunny" {
+		t.Fatalf("fetched document = %+v", out[0])
+	}
+
+	// An unknown peer is a roster error, reported without a round trip.
+	bad := doc.CallAt(doc.ServiceRef{Endpoint: "peer://nowhere/weather", Method: "fetch"})
+	if _, err := local.Invoker().Invoke(context.Background(), bad); err == nil ||
+		!strings.Contains(err.Error(), "unknown peer") {
+		t.Fatalf("unknown peer error = %v", err)
+	}
+
+	// Non-peer refs pass through untouched (here: to the local registry,
+	// which does not know the operation).
+	plain := doc.Call("not-registered")
+	if _, err := local.Invoker().Invoke(context.Background(), plain); err == nil {
+		t.Fatal("non-peer call must reach the ordinary resolution chain")
+	}
+}
+
+func TestParseRoster(t *testing.T) {
+	r, err := core.ParseRoster("east=http://a:8080/, west=http://b:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["east"] != "http://a:8080" || r["west"] != "http://b:8080" {
+		t.Fatalf("roster = %v", r)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "east" || got[1] != "west" {
+		t.Fatalf("names = %v", got)
+	}
+	for _, bad := range []string{"", "nourl", "a=,b=x", "a=x,a=y"} {
+		if _, err := core.ParseRoster(bad); err == nil {
+			t.Errorf("ParseRoster(%q) accepted", bad)
+		}
+	}
+}

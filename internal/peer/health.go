@@ -49,6 +49,20 @@ func (h *Health) Draining() bool {
 	return h != nil && h.draining.Load()
 }
 
+// refuseWrites reports whether HTTP mutations must currently be rejected
+// (503 + Retry-After) and why: the peer is a read-only replication
+// follower, or graceful shutdown has begun and the store will close under
+// any write still in flight. Reads are unaffected in both cases.
+func (p *Peer) refuseWrites() (msg string, refused bool) {
+	if p.ReadOnly {
+		return "read-only follower: send writes to the leader", true
+	}
+	if p.Health.Draining() {
+		return "draining: peer is shutting down", true
+	}
+	return "", false
+}
+
 // handleHealthz is the liveness probe: the process is up and serving.
 func (p *Peer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {

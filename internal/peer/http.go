@@ -78,6 +78,9 @@ func (p *Peer) Handler() http.Handler {
 	handle("/docs/by-function/", "docs_by_function", http.HandlerFunc(p.handleDocsByFunction))
 	handle("/exchange/", "exchange", http.HandlerFunc(p.handleExchange))
 	handle("/stats", "stats", http.HandlerFunc(p.handleStats))
+	if p.Replica != nil {
+		handle("/replica/", "replica", http.StripPrefix("/replica", p.Replica))
+	}
 	mux.Handle("/healthz", http.HandlerFunc(p.handleHealthz))
 	mux.Handle("/readyz", http.HandlerFunc(p.handleReadyz))
 	if p.Telemetry != nil {
@@ -210,6 +213,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // as 500 and the repository is unchanged. Errors are JSON {error, code}.
 func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/doc/")
+	if r.Method == http.MethodPut || r.Method == http.MethodDelete {
+		if msg, refused := p.refuseWrites(); refused {
+			// 503 + Retry-After is the one guard shared by the two
+			// cases that must reject writes: a draining peer (the store
+			// is about to close under graceful shutdown) and a
+			// replication follower (the apply loop owns the store).
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, msg)
+			return
+		}
+	}
 	switch r.Method {
 	case http.MethodGet:
 		d, ok := p.Repo.Get(name)
@@ -510,6 +524,13 @@ func (p *Peer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"parallelism":   max(p.Parallelism, 1),
 		"streaming":     p.Streaming,
 		"telemetry":     p.Telemetry != nil,
+		"read_only":     p.ReadOnly,
+	}
+	if len(p.Peers) > 0 {
+		stats["peers"] = p.Peers.Names()
+	}
+	if p.ReplicaStats != nil {
+		stats["replica"] = p.ReplicaStats()
 	}
 	if p.Durable != nil {
 		// The historical flat "wal" object is preserved for existing

@@ -14,7 +14,9 @@ import (
 
 	"axml/internal/core"
 	"axml/internal/doc"
+	"axml/internal/invoke"
 	"axml/internal/schema"
+	"axml/internal/soap"
 	"axml/internal/telemetry"
 	"axml/internal/telemetry/obslog"
 	"axml/internal/wsdl"
@@ -235,6 +237,88 @@ func Get_Temp = city -> temp
 	}
 	if soapSpan.ParentID == "" {
 		t.Error("serving peer's root span lost the remote parent link")
+	}
+}
+
+// TestRetryReinjectsFreshTraceparent extends the cross-peer propagation
+// check with a flaky-once remote: the retry policy's second delivery
+// attempt must carry a *fresh* traceparent — same trace ID (the hops stay
+// one trace), but a re-injected header per attempt, never a stale reuse of
+// the first attempt's request. soap.Client builds a new request per call,
+// so each attempt passes through InjectTraceContext again; this pins that
+// contract against a future "reuse the prepared request" optimization.
+func TestRetryReinjectsFreshTraceparent(t *testing.T) {
+	table := schema.New().Table
+	weatherSchema, err := schema.ParseTextShared(schema.NewShared(table), `
+elem city = data
+elem temp = data
+func Get_Temp = city -> temp
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weather := New("weather", weatherSchema)
+	must(t, weather.Services.Register(opOf(t, weather, "Get_Temp", func([]*doc.Node) ([]*doc.Node, error) {
+		return []*doc.Node{doc.Elem("temp", doc.TextNode("15"))}, nil
+	})))
+
+	// Flaky-once front: fail the first SOAP delivery after recording its
+	// traceparent; serve every later attempt normally.
+	var (
+		mu           sync.Mutex
+		traceparents []string
+		failed       bool
+	)
+	inner := weather.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		traceparents = append(traceparents, r.Header.Get(telemetry.TraceparentHeader))
+		failFirst := !failed
+		failed = true
+		mu.Unlock()
+		if failFirst {
+			http.Error(w, "flaky once", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	inv := core.ApplyPolicies(
+		&soap.Invoker{Default: ts.URL + "/soap", Namespace: "urn:axml:weather"},
+		[]core.InvokePolicy{invoke.WithRetry(invoke.Retry{Attempts: 3, BaseDelay: time.Millisecond})},
+	)
+	traceID := telemetry.NewID()
+	ctx := telemetry.WithTraceID(context.Background(), traceID)
+	out, err := inv.Invoke(ctx, doc.Call("Get_Temp", doc.Elem("city", doc.TextNode("Paris"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Label != "temp" {
+		t.Fatalf("result = %v", out)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(traceparents) != 2 {
+		t.Fatalf("remote saw %d attempts, want 2 (flaky once + success)", len(traceparents))
+	}
+	var parents []string
+	for i, tp := range traceparents {
+		gotTrace, parent, ok := telemetry.ParseTraceparent(tp)
+		if !ok {
+			t.Fatalf("attempt %d: unparseable traceparent %q", i+1, tp)
+		}
+		if gotTrace != traceID {
+			t.Errorf("attempt %d joined trace %s, want %s", i+1, gotTrace, traceID)
+		}
+		if parent == "" {
+			t.Errorf("attempt %d has no parent span", i+1)
+		}
+		parents = append(parents, parent)
+	}
+	if parents[0] == parents[1] {
+		t.Errorf("second attempt reused the first attempt's parent span %s — traceparent must be re-injected per attempt", parents[0])
 	}
 }
 

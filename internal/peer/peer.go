@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
 	"time"
 
@@ -91,6 +92,21 @@ type Peer struct {
 	// Health tracks readiness for the /healthz and /readyz probes; nil
 	// reports always-ready (embedded peers without a daemon lifecycle).
 	Health *Health
+	// Peers is the static federation roster: peer name to base URL. When
+	// set, Invoker resolves peer:// service references against it, so a
+	// function node can name another axmld peer's operation or document
+	// (see core.PeerRouter).
+	Peers core.Roster
+	// ReadOnly rejects HTTP mutations with 503 + Retry-After: a
+	// replication follower serves hot-standby reads while its store is
+	// owned by the apply loop, never by clients.
+	ReadOnly bool
+	// Replica, when set, is mounted under /replica/ — the leader's
+	// replication endpoints (see internal/replica.Source.Handler).
+	Replica http.Handler
+	// ReplicaStats, when set, contributes the "replica" object of /stats
+	// (leader or follower replication report).
+	ReplicaStats func() any
 
 	invOnce sync.Once
 	inv     core.Invoker
@@ -117,13 +133,19 @@ func New(name string, s *schema.Schema) *Peer {
 }
 
 // Invoker resolves function nodes: locally registered operations first, then
-// the remote transport. The result is not policy-wrapped; enforcement
+// the remote transport; with a federation roster configured, peer://
+// service references are resolved first of all (core.PeerRouter over the
+// soap transports). The result is not policy-wrapped; enforcement
 // rewritings go through the cached policy chain instead (see Policies).
 func (p *Peer) Invoker() core.Invoker {
-	if p.Remote == nil {
-		return p.Services
+	var inv core.Invoker = p.Services
+	if p.Remote != nil {
+		inv = service.Chain{p.Services, p.Remote}
 	}
-	return service.Chain{p.Services, p.Remote}
+	if len(p.Peers) > 0 {
+		inv = &core.PeerRouter{Roster: p.Peers, Next: inv, Fetch: soap.CallExchange}
+	}
+	return inv
 }
 
 // policyInvoker returns the peer's invoker wrapped in its policy chain,

@@ -1,0 +1,68 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"axml/internal/doc"
+	"axml/internal/telemetry"
+	"axml/internal/xmlio"
+)
+
+// CallExchange is the HTTP implementation of core.ExchangeFunc: it fetches
+// docName from the axml peer at base.
+//
+// Without parameters it GETs /doc/{name} — the document as stored,
+// intensional nodes included. With parameters, the first one is taken to be
+// an exchange schema and POSTed to /exchange/{name}, so the remote peer's
+// Schema Enforcement module materializes exactly what the schema demands
+// before the document crosses the wire — the paper's Figure 1 scenario,
+// initiated by a function node instead of a human.
+//
+// The caller's trace context rides both forms (traceparent header), so a
+// materialization hopping machines is one trace end to end. Responses are
+// read through the client-side body cap (DefaultMaxResponseBytes).
+func CallExchange(ctx context.Context, base, docName string, params []*doc.Node) ([]*doc.Node, error) {
+	var (
+		req *http.Request
+		err error
+	)
+	if len(params) == 0 {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/doc/"+url.PathEscape(docName), nil)
+	} else {
+		var body bytes.Buffer
+		if werr := xmlio.WriteTo(&body, params[0]); werr != nil {
+			return nil, fmt.Errorf("soap: serializing exchange schema for %q: %w", docName, werr)
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/exchange/"+url.PathEscape(docName), &body)
+		if err == nil {
+			req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("soap: fetching %q from %s: %w", docName, base, err)
+	}
+	telemetry.InjectTraceContext(ctx, req.Header)
+	resp, err := DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("soap: fetching %q from %s: %w", docName, base, err)
+	}
+	defer resp.Body.Close()
+	body := io.LimitReader(resp.Body, DefaultMaxResponseBytes)
+	if resp.StatusCode != http.StatusOK {
+		excerpt, _ := io.ReadAll(io.LimitReader(body, bodyExcerptBytes))
+		return nil, fmt.Errorf("soap: fetching %q from %s: %s: %s",
+			docName, base, resp.Status, bytes.TrimSpace(excerpt))
+	}
+	d, err := xmlio.Parse(body)
+	if err != nil {
+		return nil, fmt.Errorf("soap: fetching %q from %s: %w", docName, base, err)
+	}
+	return []*doc.Node{d}, nil
+}

@@ -33,10 +33,28 @@ const (
 	bodyExcerptBytes = 256
 )
 
+// DefaultTransport backs DefaultClient: http.DefaultTransport's dialer and
+// TLS settings with the idle-connection pool resized for peer federation.
+// The stock per-host limit (MaxIdleConnsPerHost = 2) fits a client talking
+// to many hosts a little; a peer fanning materialization calls out to a few
+// federated peers a lot churns through connections instead — every burst
+// beyond two concurrent calls to the same peer closes and redials on the
+// next burst. Raising the per-host limit keeps a fan-out's worth of
+// connections warm per peer; IdleConnTimeout still reclaims them when a
+// peer goes quiet.
+var DefaultTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}()
+
 // DefaultClient is the HTTP client used when none is configured: unlike
 // http.DefaultClient it carries a timeout, so a hung remote peer cannot
-// stall schema enforcement indefinitely.
-var DefaultClient = &http.Client{Timeout: DefaultTimeout}
+// stall schema enforcement indefinitely, and a pooled transport tuned for
+// repeated calls to the same few peers (see DefaultTransport).
+var DefaultClient = &http.Client{Timeout: DefaultTimeout, Transport: DefaultTransport}
 
 // Server exposes a service registry as a SOAP endpoint. The OnRequest and
 // OnResponse hooks are where the peer's Schema Enforcement module plugs in:

@@ -2,9 +2,12 @@ package soap
 
 import (
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"axml/internal/doc"
@@ -177,4 +180,111 @@ func TestDefaultClientHasTimeout(t *testing.T) {
 	if DefaultClient.Timeout <= 0 {
 		t.Error("DefaultClient has no timeout")
 	}
+}
+
+// countingListener counts accepted connections — every new TCP connection
+// the client dials is one Accept.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// TestDefaultClientReusesConnections guards the pooling fix: under
+// cross-peer fan-out the shared DefaultClient must keep a burst's worth of
+// connections to one peer warm instead of churning through them. The stock
+// transport's MaxIdleConnsPerHost of 2 fails the second half of this test:
+// after a concurrent burst of 8 it retains two connections and redials the
+// rest on the next burst.
+func TestDefaultClientReusesConnections(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.Register(&service.Operation{
+		Name:    "Echo",
+		Handler: func(params []*doc.Node) ([]*doc.Node, error) { return params, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A per-burst barrier holds every response until the whole burst has
+	// arrived, forcing the client to open one true connection per in-flight
+	// call instead of serializing over a lucky early reuse.
+	var barrier atomic.Pointer[burstBarrier]
+	soapSrv := &Server{Registry: reg}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b := barrier.Load(); b != nil {
+			b.arrive()
+		}
+		soapSrv.ServeHTTP(w, r)
+	}))
+	cl := &countingListener{Listener: ts.Listener}
+	ts.Listener = cl
+	ts.Start()
+	defer ts.Close()
+
+	c := &Client{Endpoint: ts.URL} // nil HTTP selects DefaultClient
+	call := func() {
+		if _, err := c.Call("Echo", []*doc.Node{doc.TextNode("x")}); err != nil {
+			t.Errorf("call: %v", err)
+		}
+	}
+
+	// Sequential calls ride one connection.
+	for i := 0; i < 10; i++ {
+		call()
+	}
+	if got := cl.accepts.Load(); got != 1 {
+		t.Fatalf("10 sequential calls opened %d connections, want 1", got)
+	}
+
+	const burst = 8
+	if DefaultTransport.MaxIdleConnsPerHost < burst {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want >= %d for federation fan-out",
+			DefaultTransport.MaxIdleConnsPerHost, burst)
+	}
+	runBurst := func() {
+		barrier.Store(newBurstBarrier(burst))
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); call() }()
+		}
+		wg.Wait()
+		barrier.Store(nil)
+	}
+	runBurst()
+	afterFirst := cl.accepts.Load()
+	if afterFirst < burst {
+		t.Fatalf("first burst of %d opened only %d connections (barrier broken)", burst, afterFirst)
+	}
+	// The second burst must be served entirely from the idle pool.
+	runBurst()
+	if got := cl.accepts.Load(); got != afterFirst {
+		t.Fatalf("second burst redialed %d connections (pool churn): %d accepts before, %d after",
+			got-afterFirst, afterFirst, got)
+	}
+}
+
+// burstBarrier releases every arriving request once n have arrived.
+type burstBarrier struct {
+	n       int64
+	arrived atomic.Int64
+	release chan struct{}
+}
+
+func newBurstBarrier(n int) *burstBarrier {
+	return &burstBarrier{n: int64(n), release: make(chan struct{})}
+}
+
+func (b *burstBarrier) arrive() {
+	if b.arrived.Add(1) == b.n {
+		close(b.release)
+	}
+	<-b.release
 }

@@ -56,6 +56,10 @@ type DurableOptions struct {
 	SnapshotEvery int
 	// Metrics, when non-nil, instruments the WAL (see wal.NewMetrics).
 	Metrics *wal.Metrics
+	// TailRecords, when positive, retains that many recent WAL records in
+	// memory for replication streaming (wal.Options.TailRecords) — set on
+	// a federation leader so followers can resume incrementally.
+	TailRecords int
 }
 
 // OpenDurable opens (or creates) the durable repository stored in dir,
@@ -67,6 +71,7 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
 		Metrics:      opts.Metrics,
+		TailRecords:  opts.TailRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -209,6 +214,40 @@ func (r *DurableRepository) Close() error {
 		return serr
 	}
 	return cerr
+}
+
+// WAL exposes the underlying log — the replication layer streams its tail
+// (wal.ReadAfter / AppendNotify) and sequences its state exports against
+// it. Callers must not Close or Rotate it directly.
+func (r *DurableRepository) WAL() *wal.Log {
+	return r.log
+}
+
+// ExportState captures the full repository state consistently with the WAL
+// record sequence: every record with sequence <= seq is reflected in docs,
+// and seq+1 is exactly the next record a replica resuming from this capture
+// needs. The capture is taken under the repository read lock (mutations
+// journal and commit under the write lock, so the pair is atomic here);
+// serialization happens outside it.
+func (r *DurableRepository) ExportState() (docs map[string][]byte, seq uint64, err error) {
+	repo := r.Repository
+	repo.mu.RLock()
+	capture := make(map[string]*doc.Node, len(repo.docs))
+	for name, d := range repo.docs {
+		capture[name] = d
+	}
+	seq = r.log.HeadSeq()
+	repo.mu.RUnlock()
+
+	docs = make(map[string][]byte, len(capture))
+	for name, d := range capture {
+		s, err := xmlio.String(d)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: exporting %q: %w", name, err)
+		}
+		docs[name] = []byte(s)
+	}
+	return docs, seq, nil
 }
 
 // Stats reports the durable backend counters: WAL state plus recovery facts

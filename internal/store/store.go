@@ -161,6 +161,10 @@ type Options struct {
 	// Registry, when non-nil, instruments the backend (axml_wal_* for the
 	// durable engine, axml_store_* for disk).
 	Registry *telemetry.Registry
+	// ReplicaTail, when positive, keeps that many recent WAL records in
+	// memory for replication streaming (wal backend only) — set on a
+	// federation leader.
+	ReplicaTail int
 }
 
 // Open builds the selected backend. An empty Backend selects mem.
@@ -177,6 +181,7 @@ func Open(opts Options) (DocStore, error) {
 			SyncInterval:  opts.SyncInterval,
 			SnapshotEvery: opts.SnapshotEvery,
 			Metrics:       wal.NewMetrics(opts.Registry),
+			TailRecords:   opts.ReplicaTail,
 		})
 	case BackendDisk:
 		if opts.Dir == "" {

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestIntervalSyncCloseLosesNothing is the shutdown-path regression test:
+// records appended between the interval ticker's last firing and Close must
+// be fsynced before Close returns. The interval is set far beyond the test's
+// lifetime so the ticker never fires — the final flush is Close's alone.
+func TestIntervalSyncCloseLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncInterval, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := l.Append(OpPut, fmt.Sprintf("doc-%02d", i), []byte("<d>v</d>")); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	fsyncsBefore := l.Stats().Fsyncs
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := l.Stats().Fsyncs; got <= fsyncsBefore {
+		t.Fatalf("Close did not fsync: %d fsyncs before, %d after", fsyncsBefore, got)
+	}
+	// Crash-recover: every acknowledged record must be present.
+	l2, state, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(state.Docs) != n {
+		t.Fatalf("recovered %d documents, want %d (acknowledged records lost)", len(state.Docs), n)
+	}
+	if state.TruncatedRecords != 0 {
+		t.Fatalf("recovery truncated %d records, want 0", state.TruncatedRecords)
+	}
+}
+
+// TestCloseConcurrentWithAppends hammers Append from several goroutines
+// while Close runs: every append acknowledged with a nil error must survive
+// recovery, and the race detector must stay quiet about the background
+// interval-sync goroutine.
+func TestCloseConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu    sync.Mutex
+		acked []string
+		wg    sync.WaitGroup
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				name := fmt.Sprintf("g%d-%04d", g, i)
+				if err := l.Append(OpPut, name, []byte("<d>v</d>")); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("append %s: %v", name, err)
+					return
+				}
+				mu.Lock()
+				acked = append(acked, name)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	_, state, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range acked {
+		if _, ok := state.Docs[name]; !ok {
+			t.Fatalf("acknowledged record %s lost across Close (%d acked, %d recovered)",
+				name, len(acked), len(state.Docs))
+		}
+	}
+}
+
+func TestTailReadAfter(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone, TailRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if head := l.HeadSeq(); head != 0 {
+		t.Fatalf("fresh log head = %d, want 0", head)
+	}
+	if recs, gap := l.ReadAfter(0, 10); gap || len(recs) != 0 {
+		t.Fatalf("empty log ReadAfter = %d recs, gap=%v", len(recs), gap)
+	}
+	for i := 1; i <= 3; i++ {
+		must(t, l.Append(OpPut, fmt.Sprintf("d%d", i), []byte("<x/>")))
+	}
+	if head := l.HeadSeq(); head != 3 {
+		t.Fatalf("head = %d, want 3", head)
+	}
+	recs, gap := l.ReadAfter(0, 10)
+	if gap || len(recs) != 3 {
+		t.Fatalf("ReadAfter(0) = %d recs, gap=%v; want 3, false", len(recs), gap)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || r.Name != fmt.Sprintf("d%d", i+1) {
+			t.Fatalf("record %d = seq %d name %s", i, r.Seq, r.Name)
+		}
+	}
+	// Partial read and max bound.
+	recs, gap = l.ReadAfter(1, 1)
+	if gap || len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("ReadAfter(1, max 1) = %+v gap=%v", recs, gap)
+	}
+	// Overflow the 4-record ring: seqs 1..2 evict.
+	for i := 4; i <= 6; i++ {
+		must(t, l.Append(OpDelete, fmt.Sprintf("d%d", i), nil))
+	}
+	if _, gap = l.ReadAfter(1, 10); !gap {
+		t.Fatal("evicted position must report a gap")
+	}
+	recs, gap = l.ReadAfter(2, 10)
+	if gap || len(recs) != 4 || recs[0].Seq != 3 || recs[3].Seq != 6 {
+		t.Fatalf("ReadAfter(2) = %+v gap=%v; want seqs 3..6", recs, gap)
+	}
+	if recs[3].Op != OpDelete || recs[3].Name != "d6" {
+		t.Fatalf("record 6 = %+v, want delete d6", recs[3].Record)
+	}
+	// Caught up.
+	if recs, gap := l.ReadAfter(6, 10); gap || len(recs) != 0 {
+		t.Fatalf("caught-up ReadAfter = %d recs, gap=%v", len(recs), gap)
+	}
+}
+
+func TestTailDisabledReportsGap(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	must(t, l.Append(OpPut, "d", []byte("<x/>")))
+	if _, gap := l.ReadAfter(0, 10); !gap {
+		t.Fatal("tail-less log must report a gap for any lagging reader")
+	}
+}
+
+func TestAppendNotify(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone, TailRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := l.AppendNotify()
+	select {
+	case <-ch:
+		t.Fatal("notify fired before any append")
+	default:
+	}
+	must(t, l.Append(OpPut, "d", []byte("<x/>")))
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("notify did not fire on append")
+	}
+	// A closed log hands out an already-closed channel.
+	must(t, l.Close())
+	select {
+	case <-l.AppendNotify():
+	default:
+		t.Fatal("AppendNotify on a closed log must not block")
+	}
+}
+
+func TestFrameReaderRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpPut, Name: "a", Data: []byte("<a>1</a>")},
+		{Op: OpDelete, Name: "b"},
+		{Op: OpPut, Name: "c", Data: bytes.Repeat([]byte("x"), 10_000)},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = EncodeFrame(buf, r)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	for i, want := range recs {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.Name != want.Name || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("frame %d: got %+v", i, got)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at clean end, got %v", err)
+	}
+}
+
+func TestFrameReaderRejectsCorruption(t *testing.T) {
+	frame := EncodeFrame(nil, Record{Op: OpPut, Name: "a", Data: []byte("<a/>")})
+	cases := map[string][]byte{
+		"torn header":  frame[:4],
+		"torn payload": frame[:len(frame)-2],
+		"bit flip": func() []byte {
+			c := append([]byte(nil), frame...)
+			c[len(c)-1] ^= 0x40
+			return c
+		}(),
+	}
+	for name, data := range cases {
+		fr := NewFrameReader(bytes.NewReader(data))
+		if _, err := fr.Next(); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: want ErrCorruptFrame, got %v", name, err)
+		}
+	}
+}
+
+// TestBackgroundFsyncFailurePoisons forces the interval fsync to fail (the
+// file descriptor is closed behind the log's back) and checks the log
+// poisons itself instead of silently carrying on with a suspect tail.
+func TestBackgroundFsyncFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }() // fails on the dead fd; retires the goroutine
+	must(t, l.Append(OpPut, "d", []byte("<x/>")))
+	l.mu.Lock()
+	l.f.Close() // every subsequent fsync on this descriptor fails
+	l.mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := l.Append(OpPut, "d2", []byte("<x/>"))
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				t.Fatalf("log closed instead of poisoned: %v", err)
+			}
+			break // poisoned (or the append itself failed on the dead fd)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background fsync failure never poisoned the log")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.mu.Lock()
+	failed := l.failed
+	l.mu.Unlock()
+	if failed == nil {
+		t.Fatal("l.failed not set after fsync failures")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

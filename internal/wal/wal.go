@@ -139,6 +139,11 @@ type Options struct {
 	// Metrics, when non-nil, receives append/fsync/snapshot/recovery
 	// observations. A nil *Metrics no-ops.
 	Metrics *Metrics
+	// TailRecords, when positive, keeps that many of the most recent
+	// appended records in memory with absolute sequence numbers, served by
+	// ReadAfter — the replication feed a leader streams to followers. 0
+	// disables the tail (ReadAfter then always reports a gap).
+	TailRecords int
 }
 
 // RecoveredState is what Open reconstructed from disk.
@@ -173,6 +178,17 @@ type Log struct {
 	buf    []byte
 	closed bool
 	failed error // poisoned after a partial append: the tail is suspect
+
+	// Replication tail (Options.TailRecords): recSeq numbers every
+	// acknowledged append (in-memory, process-lifetime — cross-restart
+	// identity is the replica layer's epoch), tailRecs is a ring of the
+	// most recent records with tailPos the slot to overwrite next once
+	// full, and notifyc is closed-and-replaced on each append so long-poll
+	// readers can wait for new records without spinning.
+	recSeq   uint64
+	tailRecs []SeqRecord
+	tailPos  int
+	notifyc  chan struct{}
 
 	stop chan struct{}
 	done chan struct{}
@@ -311,7 +327,7 @@ func (l *Log) Append(op Op, name string, data []byte) error {
 		return ErrClosed
 	}
 	if l.failed != nil {
-		return fmt.Errorf("wal: log poisoned by earlier append failure: %w", l.failed)
+		return fmt.Errorf("wal: log poisoned by earlier write failure: %w", l.failed)
 	}
 	l.buf = appendFrame(l.buf[:0], op, name, data)
 	if _, err := l.f.Write(l.buf); err != nil {
@@ -326,6 +342,7 @@ func (l *Log) Append(op Op, name string, data []byte) error {
 	}
 	l.appends.Add(1)
 	l.appendedBytes.Add(uint64(len(l.buf)))
+	l.recordAppendedLocked(op, name, data)
 	l.opts.Metrics.observeAppend(time.Since(start), len(l.buf))
 	return nil
 }
@@ -457,6 +474,9 @@ func (l *Log) Stats() Stats {
 }
 
 // Close flushes and closes the log. Further operations return ErrClosed.
+// Records appended (and acknowledged) before Close — including any appended
+// between the interval-sync ticker's last firing and the Close call — are
+// fsynced before Close returns.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -464,13 +484,23 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	serr := l.f.Sync()
-	cerr := l.f.Close()
+	if l.notifyc != nil {
+		close(l.notifyc) // wake long-poll readers; AppendNotify now
+		l.notifyc = nil  // returns an already-closed channel
+	}
 	l.mu.Unlock()
+	// Retire the background fsync goroutine first: from here on no tick can
+	// touch the file, so the final flush below is the last word on it. New
+	// Appends already fail with ErrClosed, and an Append that held the lock
+	// when Close started is serialized before the final Sync.
 	if l.stop != nil {
 		close(l.stop)
 		<-l.done
 	}
+	l.mu.Lock()
+	serr := l.syncLocked()
+	cerr := l.f.Close()
+	l.mu.Unlock()
 	if serr != nil {
 		return fmt.Errorf("wal: close: %w", serr)
 	}
@@ -480,7 +510,10 @@ func (l *Log) Close() error {
 	return nil
 }
 
-// syncLoop is the SyncInterval background fsync.
+// syncLoop is the SyncInterval background fsync. A failed background fsync
+// poisons the log exactly like a failed append: the durability of already
+// acknowledged records is in doubt, so silently carrying on would let the
+// suspect tail grow unboundedly.
 func (l *Log) syncLoop() {
 	defer close(l.done)
 	t := time.NewTicker(l.opts.SyncInterval)
@@ -491,8 +524,10 @@ func (l *Log) syncLoop() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed {
-				_ = l.syncLocked()
+			if !l.closed && l.failed == nil {
+				if err := l.syncLocked(); err != nil {
+					l.failed = err
+				}
 			}
 			l.mu.Unlock()
 		}
